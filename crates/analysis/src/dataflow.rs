@@ -1,0 +1,258 @@
+//! A small bit-set lattice and a generic worklist dataflow solver.
+
+use heapdrag_vm::class::Method;
+
+use crate::cfg::Cfg;
+
+/// A fixed-capacity bit set (the lattice element for the set-based
+/// analyses: liveness, reaching facts).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for `capacity` bits.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `bit`; returns true if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `bit`.
+    pub fn remove(&mut self, bit: usize) {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// In-place union; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors (entry = boundary).
+    Forward,
+    /// Facts flow from successors (exits = boundary).
+    Backward,
+}
+
+/// A gen/kill-style dataflow problem over [`BitSet`] facts, with
+/// union join (may analyses).
+pub trait BitProblem {
+    /// Forward or backward.
+    fn direction(&self) -> Direction;
+    /// Bit capacity of the fact sets.
+    fn capacity(&self) -> usize;
+    /// Fact at the boundary (method entry for forward, exits for backward).
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.capacity())
+    }
+    /// Transfer function for the instruction at `pc`, mutating `fact` from
+    /// the input side to the output side of the instruction.
+    fn transfer(&self, pc: u32, fact: &mut BitSet);
+}
+
+/// Per-pc solution: the fact *entering* each instruction (on the analysis'
+/// input side: before the instruction for forward problems, after it — i.e.
+/// live-out — for backward problems is `out`; `in_` is before/live-in).
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Fact on the input side of each pc (before for forward, live-in for
+    /// backward).
+    pub in_: Vec<BitSet>,
+    /// Fact on the output side of each pc.
+    pub out: Vec<BitSet>,
+}
+
+/// Runs the worklist algorithm to a fixpoint.
+pub fn solve(problem: &dyn BitProblem, method: &Method, cfg: &Cfg) -> Solution {
+    let n = method.code.len();
+    let empty = BitSet::new(problem.capacity());
+    let mut in_ = vec![empty.clone(); n];
+    let mut out = vec![empty.clone(); n];
+    if n == 0 {
+        return Solution { in_, out };
+    }
+    let mut work: Vec<u32> = (0..n as u32).collect();
+    match problem.direction() {
+        Direction::Forward => {
+            while let Some(pc) = work.pop() {
+                let mut input = if pc == 0 {
+                    problem.boundary()
+                } else {
+                    empty.clone()
+                };
+                for &p in cfg.preds(pc) {
+                    input.union_with(&out[p as usize]);
+                }
+                let mut o = input.clone();
+                problem.transfer(pc, &mut o);
+                let changed_in = in_[pc as usize] != input;
+                let changed_out = out[pc as usize] != o;
+                in_[pc as usize] = input;
+                if changed_out || changed_in {
+                    out[pc as usize] = o;
+                    for &s in cfg.succs(pc) {
+                        work.push(s);
+                    }
+                }
+            }
+        }
+        Direction::Backward => {
+            while let Some(pc) = work.pop() {
+                let mut output = if cfg.succs(pc).is_empty() {
+                    problem.boundary()
+                } else {
+                    empty.clone()
+                };
+                for &s in cfg.succs(pc) {
+                    output.union_with(&in_[s as usize]);
+                }
+                let mut i = output.clone();
+                problem.transfer(pc, &mut i);
+                let changed = in_[pc as usize] != i || out[pc as usize] != output;
+                out[pc as usize] = output;
+                if changed {
+                    in_[pc as usize] = i;
+                    for &p in cfg.preds(pc) {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+    }
+    Solution { in_, out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heapdrag_vm::insn::Insn;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(77));
+        assert!(s.contains(3) && s.contains(77) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![77]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn bitset_union() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let mut b: BitSet = [2usize, 65].into_iter().collect();
+        // capacities differ; pad a to b's capacity first
+        let mut a2 = BitSet::new(66);
+        for i in a.iter() {
+            a2.insert(i);
+        }
+        assert!(b.union_with(&a2));
+        assert!(!b.union_with(&a2), "second union is a no-op");
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+    }
+
+    /// Simple backward liveness over locals used as a solver smoke test.
+    struct Live {
+        locals: usize,
+        code: Vec<Insn>,
+    }
+    impl BitProblem for Live {
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn capacity(&self) -> usize {
+            self.locals
+        }
+        fn transfer(&self, pc: u32, fact: &mut BitSet) {
+            match self.code[pc as usize] {
+                Insn::Store(n) => fact.remove(n as usize),
+                Insn::Load(n) => {
+                    fact.insert(n as usize);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn backward_liveness_through_a_loop() {
+        // 0: store 0      (kill 0)
+        // 1: load 0       (use 0)
+        // 2: branch 1     (loop)
+        // 3: ret
+        let code = vec![Insn::Store(0), Insn::Load(0), Insn::Branch(1), Insn::Ret];
+        let mut m = Method::new("f", 0, 1);
+        m.code = code.clone();
+        let cfg = Cfg::build(&m);
+        let sol = solve(&Live { locals: 1, code }, &m, &cfg);
+        assert!(!sol.in_[0].contains(0), "dead before the store");
+        assert!(sol.in_[1].contains(0), "live at the use");
+        assert!(sol.out[2].contains(0), "live around the back edge");
+        assert!(!sol.out[3].contains(0));
+    }
+}

@@ -1,0 +1,371 @@
+//! Indirect-usage analysis (§5.1): "an object is never-used if none of its
+//! references is ever dereferenced". Given an allocation site, decide
+//! statically whether the objects created there can ever be *used* (in the
+//! paper's five-event sense) after construction — if not, the allocation
+//! is dead and removable (subject to the exception checks of §5.5).
+
+use heapdrag_vm::ids::MethodId;
+use heapdrag_vm::insn::Insn;
+use heapdrag_vm::program::Program;
+
+use crate::provenance::{infer_provenance, Prov};
+use crate::purity::Purity;
+use crate::usage::UsageAnalysis;
+
+/// Why an allocation could not be proven never-used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UseWitness {
+    /// The object is the receiver of a use instruction at this pc.
+    /// (Flows through locals and `dup` are tracked transparently by the
+    /// provenance analysis; the witness names the ultimate use.)
+    DirectUse(u32),
+    /// The object is stored into a field that is read somewhere.
+    EscapesToReadField(u32),
+    /// The object is stored into a static that is read somewhere.
+    EscapesToReadStatic(u32),
+    /// The object is stored into an array (assumed readable).
+    EscapesToArray(u32),
+    /// Passed to a call that may use or retain it.
+    EscapesToCall(u32),
+    /// Returned from the method.
+    Returned(u32),
+    /// Thrown.
+    Thrown(u32),
+    /// Provenance inference failed.
+    Opaque,
+}
+
+/// Verdict for one allocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndirectUsage {
+    /// No reference to the object is ever dereferenced after construction;
+    /// the allocation (and its constructor call, when removable) is dead.
+    NeverUsed,
+    /// A use (or a possible use) was found.
+    PossiblyUsed(UseWitness),
+}
+
+/// Analyzes the allocation at `(method, alloc_pc)` (a `new` or `newarray`).
+///
+/// The object may flow through `dup`/locals inside the allocating method.
+/// Sinks are judged as follows: constructor calls are allowed when the
+/// constructor is removable per [`Purity`]; stores into write-only fields
+/// and statics (per [`UsageAnalysis`]) are allowed; everything else is a
+/// witness.
+///
+/// Loads of locals holding the object are only allowed when the loaded
+/// value flows into an allowed sink at that point; this one-level chase is
+/// handled by treating each instruction uniformly through provenance.
+pub fn analyze_allocation(
+    program: &Program,
+    usage: &UsageAnalysis,
+    purity: &Purity,
+    method_id: MethodId,
+    alloc_pc: u32,
+) -> IndirectUsage {
+    let method = &program.methods[method_id.index()];
+    debug_assert!(method.code[alloc_pc as usize].is_alloc());
+    let Some(prov) = infer_provenance(program, method_id) else {
+        return IndirectUsage::PossiblyUsed(UseWitness::Opaque);
+    };
+    let target = Prov::Alloc(alloc_pc);
+
+    for (pc, insn) in method.code.iter().enumerate() {
+        let pc = pc as u32;
+        if !prov.analyzed(pc) {
+            continue;
+        }
+        let at = |depth: usize| prov.stack(pc, depth) == target;
+        let witness = match insn {
+            // --- observable uses of the object ---------------------------
+            // Dynamically, writing a field of the object is one of the
+            // paper's five use events — but it is *not observable*: the
+            // write lands in an object nothing will read (§3.4 pattern 1,
+            // "the object's last use occurs during its initialization").
+            // Writes INTO the candidate are therefore allowed; reads FROM
+            // it, length queries, dispatch, and monitors remain witnesses.
+            Insn::GetField(_) if at(0) => Some(UseWitness::DirectUse(pc)),
+            Insn::PutField(_) if at(1) && !at(0) => None, // initialisation write
+            Insn::ALoad if at(1) => Some(UseWitness::DirectUse(pc)),
+            Insn::AStore if at(2) => None, // element write into the candidate
+            Insn::ArrayLen if at(0) => Some(UseWitness::DirectUse(pc)),
+            Insn::MonitorEnter | Insn::MonitorExit if at(0) => Some(UseWitness::DirectUse(pc)),
+            Insn::InstanceOf(_) if at(0) => Some(UseWitness::DirectUse(pc)),
+
+            // --- escape sinks --------------------------------------------
+            Insn::PutField(slot) if at(0) => {
+                // Stored as a value into some object's field: allowed only
+                // when that field is never read.
+                let receiver = prov.stack(pc, 1);
+                let field_read = match receiver {
+                    Prov::Alloc(other_pc) => {
+                        // Field of a sibling allocation; resolve its class.
+                        match method.code[other_pc as usize] {
+                            Insn::New(c) => program.classes[c.index()]
+                                .layout
+                                .get(*slot as usize)
+                                .is_none_or(|key| usage.field_is_read(program, *key)),
+                            _ => true,
+                        }
+                    }
+                    Prov::This => match method.class {
+                        Some(c) => program.classes[c.index()]
+                            .layout
+                            .get(*slot as usize)
+                            .is_none_or(|key| usage.field_is_read(program, *key)),
+                        None => true,
+                    },
+                    _ => true,
+                };
+                if field_read {
+                    Some(UseWitness::EscapesToReadField(pc))
+                } else {
+                    None
+                }
+            }
+            Insn::PutStatic(s) if at(0) => {
+                if usage.static_read_count(*s) > 0 {
+                    Some(UseWitness::EscapesToReadStatic(pc))
+                } else {
+                    None
+                }
+            }
+            Insn::AStore if at(0) => Some(UseWitness::EscapesToArray(pc)),
+            Insn::RetVal if at(0) => Some(UseWitness::Returned(pc)),
+            Insn::Throw if at(0) => Some(UseWitness::Thrown(pc)),
+
+            Insn::Call(callee_id) => {
+                let callee = &program.methods[callee_id.index()];
+                let p = callee.num_params as usize;
+                let mut w = None;
+                for d in 0..p {
+                    if at(d) {
+                        let is_receiver = d == p - 1 && !callee.is_static;
+                        if is_receiver && purity.is_removable_constructor(*callee_id) {
+                            // Construction is allowed and side-effect free.
+                        } else {
+                            w = Some(UseWitness::EscapesToCall(pc));
+                        }
+                    }
+                }
+                w
+            }
+            Insn::CallVirtual { argc, .. } => {
+                let mut w = None;
+                for d in 0..=*argc as usize {
+                    if at(d) {
+                        w = Some(if d == *argc as usize {
+                            // The object is the receiver of a virtual call —
+                            // a direct use event.
+                            UseWitness::DirectUse(pc)
+                        } else {
+                            UseWitness::EscapesToCall(pc)
+                        });
+                    }
+                }
+                w
+            }
+            _ => None,
+        };
+        if let Some(w) = witness {
+            return IndirectUsage::PossiblyUsed(w);
+        }
+    }
+    IndirectUsage::NeverUsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use heapdrag_vm::builder::ProgramBuilder;
+    use heapdrag_vm::class::Visibility;
+    use heapdrag_vm::value::Value;
+
+    fn analyze_first_alloc(p: &Program) -> IndirectUsage {
+        let cg = CallGraph::build(p);
+        let usage = UsageAnalysis::build(p, &cg);
+        let purity = Purity::build(p, &cg);
+        let main = p.entry;
+        let alloc_pc = p.methods[main.index()]
+            .code
+            .iter()
+            .position(|i| i.is_alloc())
+            .expect("program has an allocation") as u32;
+        analyze_allocation(p, &usage, &purity, main, alloc_pc)
+    }
+
+    #[test]
+    fn stored_and_dropped_is_never_used() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").field("f", Visibility::Private).finish();
+        let main = b.declare_method("main", None, true, 1, 2);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).store(1);
+            m.push_null().store(1);
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        assert_eq!(analyze_first_alloc(&p), IndirectUsage::NeverUsed);
+    }
+
+    #[test]
+    fn field_read_is_a_direct_use_but_initialisation_writes_are_not() {
+        // Writes INTO the object are unobservable initialisation (the
+        // raytrace pattern); a read FROM it is a real use.
+        let build = |read_back: bool| {
+            let mut b = ProgramBuilder::new();
+            let c = b.begin_class("C").field("f", Visibility::Private).finish();
+            let main = b.declare_method("main", None, true, 1, 2);
+            {
+                let mut m = b.begin_body(main);
+                m.new_obj(c).store(1);
+                m.load(1).push_int(1).putfield(0);
+                if read_back {
+                    m.load(1).getfield(0).print();
+                }
+                m.ret();
+                m.finish();
+            }
+            b.set_entry(main);
+            b.finish().unwrap()
+        };
+        assert_eq!(
+            analyze_first_alloc(&build(false)),
+            IndirectUsage::NeverUsed,
+            "write-only object is dead"
+        );
+        assert!(matches!(
+            analyze_first_alloc(&build(true)),
+            IndirectUsage::PossiblyUsed(UseWitness::DirectUse(_))
+        ));
+    }
+
+    #[test]
+    fn pure_constructor_call_is_allowed() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").field("f", Visibility::Private).finish();
+        let init = b.declare_method("init", Some(c), false, 1, 1);
+        {
+            let mut m = b.begin_body(init);
+            m.load(0).push_int(1).putfield(0);
+            m.ret();
+            m.finish();
+        }
+        let main = b.declare_method("main", None, true, 1, 2);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).dup().store(1).call(init);
+            m.push_null().store(1);
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        assert_eq!(
+            analyze_first_alloc(&p),
+            IndirectUsage::NeverUsed,
+            "ctor-only use counts as never-used (§3.4 pattern 1)"
+        );
+    }
+
+    #[test]
+    fn store_into_read_static_is_a_use() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").finish();
+        let g = b.static_var("G.x", Visibility::Public, Value::Null);
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).putstatic(g);
+            m.getstatic(g).pop();
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        assert!(matches!(
+            analyze_first_alloc(&p),
+            IndirectUsage::PossiblyUsed(UseWitness::EscapesToReadStatic(_))
+        ));
+    }
+
+    #[test]
+    fn store_into_write_only_static_is_dead() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").finish();
+        let g = b.static_var("G.x", Visibility::Public, Value::Null);
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).putstatic(g);
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        assert_eq!(
+            analyze_first_alloc(&p),
+            IndirectUsage::NeverUsed,
+            "the Locale pattern: stored into a never-read static"
+        );
+    }
+
+    #[test]
+    fn returned_object_is_possibly_used() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").finish();
+        let make = b.declare_method("make", None, true, 0, 1);
+        {
+            let mut m = b.begin_body(make);
+            m.new_obj(c).ret_val();
+            m.finish();
+        }
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.call(make).pop();
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        let cg = CallGraph::build(&p);
+        let usage = UsageAnalysis::build(&p, &cg);
+        let purity = Purity::build(&p, &cg);
+        let r = analyze_allocation(&p, &usage, &purity, make, 0);
+        assert!(matches!(
+            r,
+            IndirectUsage::PossiblyUsed(UseWitness::Returned(_))
+        ));
+    }
+
+    #[test]
+    fn virtual_call_receiver_is_a_use() {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").finish();
+        let go = b.declare_method("go", Some(c), false, 1, 1);
+        {
+            let mut m = b.begin_body(go);
+            m.ret();
+            m.finish();
+        }
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).call_virtual("go", 0);
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        let _ = go;
+        assert!(matches!(
+            analyze_first_alloc(&p),
+            IndirectUsage::PossiblyUsed(UseWitness::DirectUse(_))
+        ));
+    }
+}

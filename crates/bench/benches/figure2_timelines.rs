@@ -1,0 +1,53 @@
+//! Figure 2 — reachable and in-use heap size vs. allocation time,
+//! original vs. revised, for the eight benchmarks with savings (db is
+//! omitted, as in the paper).
+//!
+//! Emits one CSV per benchmark under `target/paper-artefacts/` with the
+//! four series, and prints a terminal chart of the original run per
+//! benchmark. The areas between the curves are the integrals of Table 2.
+
+use std::fmt::Write as _;
+
+use heapdrag_bench::{artefact_dir, measure_pair};
+use heapdrag_core::{Timeline, VmConfig};
+use heapdrag_workloads::all_workloads;
+
+fn main() {
+    println!("=== Figure 2: reachable/in-use heap curves ===");
+    let dir = artefact_dir();
+    // Sample more finely than the default 100 KB so each panel has a
+    // usable number of points at our (scaled-down) heap sizes.
+    let mut config = VmConfig::profiling();
+    config.deep_gc_interval = Some(16 * 1024);
+
+    for w in all_workloads() {
+        if w.name == "db" {
+            continue; // "The graph for db is not shown." (§4.1)
+        }
+        let input = (w.default_input)();
+        let pair = measure_pair(&w, &input, config.clone()).expect("workload runs");
+        let to = Timeline::from_run(&pair.original);
+        let tr = Timeline::from_run(&pair.revised);
+
+        // CSV: time_orig,reachable_orig,inuse_orig and the revised curves
+        // (the revised run has its own, shorter time axis).
+        let mut csv = String::from("series,time,reachable,in_use\n");
+        for p in &to.points {
+            let _ = writeln!(csv, "original,{},{},{}", p.time, p.reachable, p.in_use);
+        }
+        for p in &tr.points {
+            let _ = writeln!(csv, "revised,{},{},{}", p.time, p.reachable, p.in_use);
+        }
+        let path = dir.join(format!("figure2_{}.csv", w.name));
+        std::fs::write(&path, csv).expect("write figure CSV");
+
+        println!("\n--- {} (original run; '#' reachable, '.' in use) ---", w.name);
+        print!("{}", to.ascii_chart(10));
+        println!(
+            "revised peak reachable: {} KB (original {} KB); CSV: {}",
+            tr.peak_reachable() / 1024,
+            to.peak_reachable() / 1024,
+            path.display()
+        );
+    }
+}

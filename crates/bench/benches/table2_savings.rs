@@ -1,0 +1,46 @@
+//! Table 2 — drag and space savings for original inputs.
+//!
+//! For every benchmark, profile the original and revised variants on the
+//! default input and report the four space-time integrals plus the drag-
+//! and space-saving ratios. Expected shape (paper values in parentheses):
+//! jack (70 %) and euler (76 %) lead, mc exceeds 100 % (169 %), db saves
+//! nothing, the average drag saving is around 51 %.
+
+use heapdrag_bench::{measure_pair, savings_header, savings_row};
+use heapdrag_core::VmConfig;
+use heapdrag_workloads::all_workloads;
+
+fn main() {
+    println!("=== Table 2: drag and space savings, original inputs ===");
+    println!("(integrals in MByte^2, as in the paper)");
+    println!("{}", savings_header());
+    let mut drag_sum = 0.0;
+    let mut space_sum = 0.0;
+    let mut n = 0.0;
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let pair = measure_pair(&w, &input, VmConfig::profiling()).expect("workload runs");
+        assert_eq!(
+            pair.original.outcome.output, pair.revised.outcome.output,
+            "{}: variants must agree",
+            w.name
+        );
+        println!("{}", savings_row(&pair));
+        let s = pair.savings();
+        drag_sum += s.drag_saving_pct();
+        space_sum += s.space_saving_pct();
+        n += 1.0;
+    }
+    println!("{}", "-".repeat(82));
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>9.2} {:>9.2}",
+        "average",
+        "",
+        "",
+        "",
+        "",
+        drag_sum / n,
+        space_sum / n
+    );
+    println!("(paper averages: 51% drag, 14-18% space)");
+}

@@ -1,0 +1,87 @@
+//! Table 4 — runtime savings of the revised benchmarks.
+//!
+//! The paper measures wall-clock time under Sun HotSpot 1.3 Client, chosen
+//! because its *generational* collector delays reclamation and therefore
+//! shrinks the benefit of drag removal; savings remain small but mostly
+//! positive (average ~1 %), driven by (i) avoided allocation and
+//! initialisation and (ii) fewer GC invocations.
+//!
+//! We reproduce both effects with the VM's generational mode: Criterion
+//! measures wall-clock per variant, and a deterministic cost model
+//! (instructions + allocation + GC tracing work) reports the
+//! platform-independent saving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heapdrag_vm::interp::{Vm, VmConfig};
+use heapdrag_workloads::all_workloads;
+
+fn runtime_config() -> VmConfig {
+    VmConfig {
+        generational: true,
+        nursery_bytes: 64 * 1024,
+        // A soft heap bound (the paper's fixed 32/48 MB heaps, scaled).
+        gc_trigger: Some(768 * 1024),
+        ..VmConfig::default()
+    }
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let original = w.original();
+        let revised = w.revised();
+        group.bench_function(format!("{}/original", w.name), |b| {
+            b.iter(|| {
+                Vm::new(&original, runtime_config())
+                    .run(std::hint::black_box(&input))
+                    .expect("runs")
+            })
+        });
+        group.bench_function(format!("{}/revised", w.name), |b| {
+            b.iter(|| {
+                Vm::new(&revised, runtime_config())
+                    .run(std::hint::black_box(&input))
+                    .expect("runs")
+            })
+        });
+    }
+    group.finish();
+
+    // Deterministic cost model — the Table 4 "runtime saving" column
+    // without measurement noise.
+    println!("\n=== Table 4 (cost model): runtime savings under generational GC ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "benchmark", "orig cost", "revised cost", "saving %"
+    );
+    println!("{}", "-".repeat(52));
+    let mut sum = 0.0;
+    let mut n = 0.0;
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let o = Vm::new(&w.original(), runtime_config())
+            .run(&input)
+            .expect("runs");
+        let r = Vm::new(&w.revised(), runtime_config())
+            .run(&input)
+            .expect("runs");
+        let saving = (1.0 - r.cost_units() as f64 / o.cost_units() as f64) * 100.0;
+        println!(
+            "{:<10} {:>14} {:>14} {:>10.2}",
+            w.name,
+            o.cost_units(),
+            r.cost_units(),
+            saving
+        );
+        sum += saving;
+        n += 1.0;
+    }
+    println!("{}", "-".repeat(52));
+    println!("{:<10} {:>40.2}", "average", sum / n);
+    println!("(paper: between -0.38% and 2.32%, average ~1.07%)");
+}
+
+criterion_group!(benches, bench_runtimes);
+criterion_main!(benches);

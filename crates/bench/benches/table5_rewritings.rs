@@ -1,0 +1,38 @@
+//! Table 5 — summary of rewritings: per benchmark, the strategy applied,
+//! the reference kinds rewritten, the measured drag saving, and the static
+//! analysis expected to automate it.
+
+use heapdrag_bench::measure_pair;
+use heapdrag_core::VmConfig;
+use heapdrag_workloads::all_workloads;
+
+fn main() {
+    println!("=== Table 5: summary of rewritings ===");
+    println!(
+        "{:<10} {:<45} {:<40} {:>8}  expected analysis",
+        "benchmark", "rewriting strategy", "reference kinds", "drag%"
+    );
+    println!("{}", "-".repeat(130));
+    for w in all_workloads() {
+        if w.name == "db" {
+            println!(
+                "{:<10} {:<45} {:<40} {:>8}  {}",
+                w.name, w.rewriting, w.reference_kinds, "0.00", w.expected_analysis
+            );
+            continue;
+        }
+        let input = (w.default_input)();
+        let pair = measure_pair(&w, &input, VmConfig::profiling()).expect("workload runs");
+        println!(
+            "{:<10} {:<45} {:<40} {:>8.2}  {}",
+            w.name,
+            w.rewriting,
+            w.reference_kinds,
+            pair.savings().drag_saving_pct(),
+            w.expected_analysis
+        );
+    }
+    println!(
+        "\n(paper: javac 21.8, jack 70.34, raytrace 45+6.27, jess 2.7+1.68+11.09,\n euler 76.46, mc 119.95+48.87, juru 33.68, analyzer 25.34)"
+    );
+}

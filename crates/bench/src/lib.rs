@@ -1,0 +1,130 @@
+//! # heapdrag-bench
+//!
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (§4). Each `benches/` target prints one artefact:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `table1_benchmarks` | Table 1 — the benchmark programs |
+//! | `figure2_timelines` | Figure 2 — reachable/in-use curves |
+//! | `table2_savings` | Table 2 — drag & space savings, original inputs |
+//! | `table3_alternate_inputs` | Table 3 — savings on alternate inputs |
+//! | `table4_runtime` | Table 4 — runtime savings |
+//! | `table5_rewritings` | Table 5 — summary of rewritings |
+//! | `ablation_auto_vs_manual` | (ours) §5 automation vs manual rewrites |
+//! | `ablation_gc_interval` | (ours) §2.1.1 deep-GC interval precision |
+
+#![warn(missing_docs)]
+
+use heapdrag_core::{profile, Integrals, ProfileRun, SavingsReport, VmConfig};
+use heapdrag_vm::error::VmError;
+use heapdrag_workloads::Workload;
+
+/// A profiled original/revised pair for one workload and input.
+#[derive(Debug)]
+pub struct MeasuredPair {
+    /// Workload name.
+    pub name: &'static str,
+    /// Profile of the original variant.
+    pub original: ProfileRun,
+    /// Profile of the revised variant.
+    pub revised: ProfileRun,
+}
+
+impl MeasuredPair {
+    /// Integrals of the original run.
+    pub fn original_integrals(&self) -> Integrals {
+        Integrals::from_records(&self.original.records)
+    }
+
+    /// Integrals of the revised run.
+    pub fn revised_integrals(&self) -> Integrals {
+        Integrals::from_records(&self.revised.records)
+    }
+
+    /// The savings report for the pair.
+    pub fn savings(&self) -> SavingsReport {
+        SavingsReport::new(self.original_integrals(), self.revised_integrals())
+    }
+}
+
+/// Profiles both variants of `workload` on `input`.
+///
+/// # Errors
+///
+/// Propagates VM errors from either run (both programs are expected to be
+/// correct; an error here is a harness bug).
+pub fn measure_pair(
+    workload: &Workload,
+    input: &[i64],
+    config: VmConfig,
+) -> Result<MeasuredPair, VmError> {
+    let original = profile(&workload.original(), input, config.clone())?;
+    let revised = profile(&workload.revised(), input, config)?;
+    Ok(MeasuredPair {
+        name: workload.name,
+        original,
+        revised,
+    })
+}
+
+/// Renders one row of the Table 2/3 layout.
+pub fn savings_row(pair: &MeasuredPair) -> String {
+    let o = pair.original_integrals();
+    let r = pair.revised_integrals();
+    let s = pair.savings();
+    format!(
+        "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>9.2} {:>9.2}",
+        pair.name,
+        r.reachable_mb2(),
+        r.in_use_mb2(),
+        o.reachable_mb2(),
+        o.in_use_mb2(),
+        s.drag_saving_pct(),
+        s.space_saving_pct(),
+    )
+}
+
+/// The Table 2/3 header matching [`savings_row`].
+pub fn savings_header() -> String {
+    format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}\n{}",
+        "benchmark",
+        "red.reach",
+        "red.inuse",
+        "orig.reach",
+        "orig.inuse",
+        "drag%",
+        "space%",
+        "-".repeat(82)
+    )
+}
+
+/// Directory where figure CSVs and other artefacts land.
+pub fn artefact_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("paper-artefacts");
+    std::fs::create_dir_all(&dir).expect("create artefact dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heapdrag_workloads::workload_by_name;
+
+    #[test]
+    fn measure_pair_produces_consistent_savings() {
+        let w = workload_by_name("juru").expect("juru exists");
+        let input = (w.default_input)();
+        let pair = measure_pair(&w, &input, VmConfig::profiling()).unwrap();
+        let s = pair.savings();
+        assert!(s.drag_saving_pct() > 0.0);
+        assert_eq!(
+            pair.original.outcome.output, pair.revised.outcome.output,
+            "behaviour preserved"
+        );
+        let row = savings_row(&pair);
+        assert!(row.starts_with("juru"));
+        assert!(savings_header().contains("drag%"));
+    }
+}

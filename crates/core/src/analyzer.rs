@@ -1,0 +1,331 @@
+//! The off-line phase: partition dragged objects by site and produce
+//! drag-sorted reports (§2.2 of the paper).
+
+use std::collections::HashMap;
+
+use heapdrag_vm::ids::{ChainId, SiteId};
+
+use crate::integrals::Integrals;
+use crate::pattern::{classify, LifetimePattern, PatternConfig, TransformKind};
+use crate::record::ObjectRecord;
+
+/// Aggregate statistics for one group of objects (a partition cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Number of objects in the group.
+    pub objects: u64,
+    /// Objects never used (within the constructor window).
+    pub never_used: u64,
+    /// Total bytes allocated by the group.
+    pub bytes: u64,
+    /// Accumulated drag space-time product (byte²).
+    pub drag: u128,
+    /// Accumulated drag due to never-used objects only (byte²).
+    pub never_used_drag: u128,
+    /// Accumulated reachable space-time product (byte²).
+    pub reachable: u128,
+    /// Accumulated in-use space-time product (byte²).
+    pub in_use: u128,
+    /// Lifetime behaviour classification.
+    pub pattern: LifetimePattern,
+}
+
+impl GroupStats {
+    /// The rewriting suggested by the group's lifetime pattern.
+    pub fn suggested_transform(&self) -> TransformKind {
+        self.pattern.suggested_transform()
+    }
+}
+
+/// Drag accumulated per nested allocation site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedSiteEntry {
+    /// The nested allocation site (call chain, innermost first).
+    pub site: ChainId,
+    /// Aggregates for its objects.
+    pub stats: GroupStats,
+}
+
+/// Drag accumulated per coarse (innermost-only) allocation site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseSiteEntry {
+    /// The allocation site proper.
+    pub site: SiteId,
+    /// Aggregates for its objects.
+    pub stats: GroupStats,
+}
+
+/// Drag accumulated per (nested allocation site, nested last-use site) pair;
+/// the last-use site hints at where a reference goes dead (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocUsePairEntry {
+    /// The nested allocation site.
+    pub alloc_site: ChainId,
+    /// The nested last-use site; `None` groups the never-used objects.
+    pub last_use_site: Option<ChainId>,
+    /// Aggregates for the pair.
+    pub stats: GroupStats,
+}
+
+/// The full output of the off-line analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DragReport {
+    /// Sites sorted by accumulated drag, largest first.
+    pub by_nested_site: Vec<NestedSiteEntry>,
+    /// Coarse partition (allocation site only), sorted by drag.
+    pub by_coarse_site: Vec<CoarseSiteEntry>,
+    /// Partition by (allocation site, last-use site), sorted by drag.
+    pub by_alloc_and_last_use: Vec<AllocUsePairEntry>,
+    /// Nested sites whose objects are *all* never-used — the paper's "sure
+    /// bet" list — sorted by drag.
+    pub never_used_sites: Vec<NestedSiteEntry>,
+    /// Whole-run integrals.
+    pub totals: Integrals,
+}
+
+impl DragReport {
+    /// Total drag across the run (byte²).
+    pub fn total_drag(&self) -> u128 {
+        self.totals.drag()
+    }
+
+    /// The entry for a specific nested site, if present.
+    pub fn nested_site(&self, site: ChainId) -> Option<&NestedSiteEntry> {
+        self.by_nested_site.iter().find(|e| e.site == site)
+    }
+}
+
+/// Configuration of the off-line analyzer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Pattern-classification thresholds.
+    pub patterns: PatternConfig,
+}
+
+/// The off-line analyzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DragAnalyzer {
+    config: AnalyzerConfig,
+}
+
+impl DragAnalyzer {
+    /// Creates an analyzer with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analyzer with explicit thresholds.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        DragAnalyzer { config }
+    }
+
+    /// Partitions `records` (with the innermost-site resolver `innermost`,
+    /// typically [`SiteTable::innermost`](heapdrag_vm::site::SiteTable::innermost))
+    /// and produces the report.
+    pub fn analyze<F>(&self, records: &[ObjectRecord], innermost: F) -> DragReport
+    where
+        F: Fn(ChainId) -> Option<SiteId>,
+    {
+        let window = self.config.patterns.ctor_use_window;
+
+        let mut nested: HashMap<ChainId, Vec<&ObjectRecord>> = HashMap::new();
+        let mut coarse: HashMap<SiteId, Vec<&ObjectRecord>> = HashMap::new();
+        let mut pairs: HashMap<(ChainId, Option<ChainId>), Vec<&ObjectRecord>> = HashMap::new();
+        for r in records {
+            nested.entry(r.alloc_site).or_default().push(r);
+            if let Some(s) = innermost(r.alloc_site) {
+                coarse.entry(s).or_default().push(r);
+            }
+            let use_site = if r.is_never_used(window) {
+                None
+            } else {
+                r.last_use_site
+            };
+            pairs.entry((r.alloc_site, use_site)).or_default().push(r);
+        }
+
+        let stats_of = |group: &[&ObjectRecord]| -> GroupStats {
+            let mut s = GroupStats {
+                objects: group.len() as u64,
+                never_used: 0,
+                bytes: 0,
+                drag: 0,
+                never_used_drag: 0,
+                reachable: 0,
+                in_use: 0,
+                pattern: LifetimePattern::Mixed,
+            };
+            for r in group {
+                s.bytes += r.size;
+                s.drag += r.drag();
+                s.reachable += r.reachable_product();
+                s.in_use += r.in_use_product();
+                if r.is_never_used(window) {
+                    s.never_used += 1;
+                    s.never_used_drag += r.drag();
+                }
+            }
+            s.pattern = classify(group, &self.config.patterns);
+            s
+        };
+
+        let mut by_nested_site: Vec<NestedSiteEntry> = nested
+            .iter()
+            .map(|(site, group)| NestedSiteEntry {
+                site: *site,
+                stats: stats_of(group),
+            })
+            .collect();
+        by_nested_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
+
+        let mut by_coarse_site: Vec<CoarseSiteEntry> = coarse
+            .iter()
+            .map(|(site, group)| CoarseSiteEntry {
+                site: *site,
+                stats: stats_of(group),
+            })
+            .collect();
+        by_coarse_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
+
+        let mut by_alloc_and_last_use: Vec<AllocUsePairEntry> = pairs
+            .iter()
+            .map(|((alloc, last_use), group)| AllocUsePairEntry {
+                alloc_site: *alloc,
+                last_use_site: *last_use,
+                stats: stats_of(group),
+            })
+            .collect();
+        by_alloc_and_last_use.sort_by(|a, b| {
+            b.stats
+                .drag
+                .cmp(&a.stats.drag)
+                .then(a.alloc_site.cmp(&b.alloc_site))
+                .then(a.last_use_site.cmp(&b.last_use_site))
+        });
+
+        let never_used_sites: Vec<NestedSiteEntry> = by_nested_site
+            .iter()
+            .filter(|e| e.stats.pattern == LifetimePattern::AllNeverUsed)
+            .cloned()
+            .collect();
+
+        DragReport {
+            by_nested_site,
+            by_coarse_site,
+            by_alloc_and_last_use,
+            never_used_sites,
+            totals: Integrals::from_records(records),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heapdrag_vm::ids::{ClassId, ObjectId};
+
+    fn record(
+        id: u64,
+        site: u32,
+        created: u64,
+        last_use: Option<u64>,
+        freed: u64,
+        size: u64,
+    ) -> ObjectRecord {
+        ObjectRecord {
+            object: ObjectId(id),
+            class: ClassId(0),
+            size,
+            created,
+            freed,
+            last_use,
+            alloc_site: ChainId(site),
+            last_use_site: last_use.map(|_| ChainId(100 + site)),
+            at_exit: false,
+        }
+    }
+
+    fn analyze(records: &[ObjectRecord]) -> DragReport {
+        // Innermost site of chain k is site k (identity-ish resolver).
+        DragAnalyzer::new().analyze(records, |c| Some(SiteId(c.0)))
+    }
+
+    #[test]
+    fn sites_sorted_by_drag() {
+        let records = vec![
+            record(1, 0, 0, Some(10), 100, 10),  // drag 900
+            record(2, 1, 0, Some(90), 100, 10),  // drag 100
+            record(3, 2, 0, None, 1000, 100),    // drag 100_000
+        ];
+        let report = analyze(&records);
+        let order: Vec<u32> = report.by_nested_site.iter().map(|e| e.site.0).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+        assert_eq!(report.by_nested_site[0].stats.drag, 100_000);
+        assert_eq!(report.total_drag(), 101_000);
+    }
+
+    #[test]
+    fn never_used_partition() {
+        let records = vec![
+            record(1, 0, 0, None, 100_000, 10),
+            record(2, 0, 0, None, 100_000, 10),
+            record(3, 1, 0, Some(50_000), 100_000, 10),
+        ];
+        let report = analyze(&records);
+        assert_eq!(report.never_used_sites.len(), 1);
+        assert_eq!(report.never_used_sites[0].site, ChainId(0));
+        assert_eq!(report.never_used_sites[0].stats.never_used, 2);
+        assert_eq!(
+            report.never_used_sites[0].stats.pattern,
+            LifetimePattern::AllNeverUsed
+        );
+    }
+
+    #[test]
+    fn pair_partition_separates_last_use_sites() {
+        let mut a = record(1, 0, 0, Some(50_000), 100_000, 10);
+        a.last_use_site = Some(ChainId(7));
+        let mut b = record(2, 0, 0, Some(60_000), 100_000, 10);
+        b.last_use_site = Some(ChainId(8));
+        let c = record(3, 0, 0, None, 100_000, 10);
+        let report = analyze(&[a, b, c]);
+        assert_eq!(report.by_alloc_and_last_use.len(), 3);
+        assert!(report
+            .by_alloc_and_last_use
+            .iter()
+            .any(|e| e.last_use_site.is_none()));
+    }
+
+    #[test]
+    fn coarse_partition_merges_chains_with_same_innermost() {
+        // Chains 0 and 1 share innermost site 5; chain 2 maps to site 6.
+        let records = vec![
+            record(1, 0, 0, Some(10), 100, 10),
+            record(2, 1, 0, Some(10), 100, 10),
+            record(3, 2, 0, Some(10), 100, 10),
+        ];
+        let report = DragAnalyzer::new().analyze(&records, |c| {
+            Some(if c.0 <= 1 { SiteId(5) } else { SiteId(6) })
+        });
+        assert_eq!(report.by_coarse_site.len(), 2);
+        let merged = report
+            .by_coarse_site
+            .iter()
+            .find(|e| e.site == SiteId(5))
+            .unwrap();
+        assert_eq!(merged.stats.objects, 2);
+    }
+
+    #[test]
+    fn group_invariants() {
+        let records = vec![
+            record(1, 0, 0, Some(10), 100, 10),
+            record(2, 0, 5, None, 50, 20),
+        ];
+        let report = analyze(&records);
+        let e = &report.by_nested_site[0];
+        assert_eq!(e.stats.reachable, e.stats.in_use + e.stats.drag);
+        assert!(e.stats.never_used_drag <= e.stats.drag);
+        assert_eq!(e.stats.bytes, 30);
+    }
+}

@@ -1,0 +1,100 @@
+//! Original-vs-revised savings, as reported in Tables 2 and 3 of the paper.
+
+use crate::integrals::Integrals;
+
+/// Savings of a revised run relative to an original run.
+///
+/// *Space saving* is the relative reduction of the reachable integral.
+/// *Drag saving* is the reduction of the reachable integral as a fraction
+/// of the *original drag*; it exceeds 100 % when the revised reachable
+/// integral drops below the original in-use integral (as for `mc` in the
+/// paper, 168 %).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavingsReport {
+    /// Integrals of the original run.
+    pub original: Integrals,
+    /// Integrals of the revised run.
+    pub reduced: Integrals,
+}
+
+impl SavingsReport {
+    /// Builds a report from the two runs' integrals.
+    pub fn new(original: Integrals, reduced: Integrals) -> Self {
+        SavingsReport { original, reduced }
+    }
+
+    /// Space saving ratio in percent:
+    /// `(1 − reduced.reachable / original.reachable) · 100`.
+    pub fn space_saving_pct(&self) -> f64 {
+        if self.original.reachable == 0 {
+            return 0.0;
+        }
+        (1.0 - self.reduced.reachable as f64 / self.original.reachable as f64) * 100.0
+    }
+
+    /// Drag saving ratio in percent:
+    /// `(original.reachable − reduced.reachable) / original.drag · 100`.
+    pub fn drag_saving_pct(&self) -> f64 {
+        let drag = self.original.drag();
+        if drag == 0 {
+            return 0.0;
+        }
+        let saved = self.original.reachable as f64 - self.reduced.reachable as f64;
+        saved / drag as f64 * 100.0
+    }
+
+    /// True when the revised reachable integral dropped below even the
+    /// original in-use integral (drag saving above 100 %).
+    pub fn beats_original_in_use(&self) -> bool {
+        self.reduced.reachable < self.original.in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrals(reachable: u128, in_use: u128) -> Integrals {
+        Integrals { reachable, in_use }
+    }
+
+    #[test]
+    fn basic_savings() {
+        // original: reachable 1000, in-use 600 → drag 400
+        // reduced: reachable 800
+        let s = SavingsReport::new(integrals(1000, 600), integrals(800, 600));
+        assert!((s.space_saving_pct() - 20.0).abs() < 1e-9);
+        assert!((s.drag_saving_pct() - 50.0).abs() < 1e-9);
+        assert!(!s.beats_original_in_use());
+    }
+
+    #[test]
+    fn mc_style_over_100_percent_drag_saving() {
+        // Revised reachable (500) below original in-use (600): the revision
+        // eliminated allocations entirely, not just drag.
+        let s = SavingsReport::new(integrals(1000, 600), integrals(500, 450));
+        assert!(s.drag_saving_pct() > 100.0);
+        assert!(s.beats_original_in_use());
+    }
+
+    #[test]
+    fn db_style_no_savings() {
+        let s = SavingsReport::new(integrals(1000, 900), integrals(1000, 900));
+        assert_eq!(s.space_saving_pct(), 0.0);
+        assert_eq!(s.drag_saving_pct(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let s = SavingsReport::new(integrals(0, 0), integrals(0, 0));
+        assert_eq!(s.space_saving_pct(), 0.0);
+        assert_eq!(s.drag_saving_pct(), 0.0);
+    }
+
+    #[test]
+    fn negative_saving_when_revision_regresses() {
+        let s = SavingsReport::new(integrals(1000, 600), integrals(1100, 600));
+        assert!(s.space_saving_pct() < 0.0);
+        assert!(s.drag_saving_pct() < 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-site lifetime distributions — §3.4's second step: "the tool also
+//! partitions the dragged objects at that anchor allocation site according
+//! to their drag time, in-use time, and collection time", which is how a
+//! programmer tells the four behaviour patterns apart.
+
+use heapdrag_vm::ids::ChainId;
+
+use crate::record::ObjectRecord;
+
+/// A logarithmic histogram (power-of-two buckets) over byte-clock times.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Buckets {
+    /// Upper bounds of each bucket (exclusive); the last bucket is
+    /// unbounded.
+    pub bounds: Vec<u64>,
+    /// Counts per bucket (`counts.len() == bounds.len() + 1`).
+    pub counts: Vec<u64>,
+}
+
+impl Buckets {
+    /// Builds power-of-two buckets covering `1 KB .. max`, then fills them.
+    pub fn collect(values: impl Iterator<Item = u64>) -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1024u64;
+        while b <= 16 * 1024 * 1024 {
+            bounds.push(b);
+            b *= 4;
+        }
+        let mut counts = vec![0u64; bounds.len() + 1];
+        for v in values {
+            let idx = bounds.iter().position(|&ub| v < ub).unwrap_or(bounds.len());
+            counts[idx] += 1;
+        }
+        Buckets { bounds, counts }
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Renders one row per non-empty bucket as `"< 4KB   ########  12"`.
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let label = if i < self.bounds.len() {
+                format!("< {:>6} KB", self.bounds[i] / 1024)
+            } else {
+                ">= big    ".to_string()
+            };
+            let bar = "#".repeat(((count * 30) / max).max(1) as usize);
+            out.push_str(&format!("{label}  {bar}  {count}\n"));
+        }
+        out
+    }
+}
+
+/// The three distributions of §3.4 for one site's objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LifetimeHistogram {
+    /// Objects in the group.
+    pub objects: u64,
+    /// Objects never used (within `window`).
+    pub never_used: u64,
+    /// Distribution of drag times.
+    pub drag_time: Buckets,
+    /// Distribution of in-use times.
+    pub in_use_time: Buckets,
+    /// Distribution of collection times (when each object was reclaimed).
+    pub collection_time: Buckets,
+}
+
+impl LifetimeHistogram {
+    /// Builds the histogram for the records allocated at `site`.
+    pub fn for_site(records: &[ObjectRecord], site: ChainId, window: u64) -> Self {
+        let group: Vec<&ObjectRecord> = records.iter().filter(|r| r.alloc_site == site).collect();
+        LifetimeHistogram {
+            objects: group.len() as u64,
+            never_used: group.iter().filter(|r| r.is_never_used(window)).count() as u64,
+            drag_time: Buckets::collect(group.iter().map(|r| r.drag_time())),
+            in_use_time: Buckets::collect(group.iter().map(|r| r.in_use_time())),
+            collection_time: Buckets::collect(group.iter().map(|r| r.freed)),
+        }
+    }
+
+    /// Renders the §3.4 investigation view for this site.
+    pub fn render(&self) -> String {
+        format!(
+            "objects: {}   never-used: {}\n-- drag time --\n{}-- in-use time --\n{}-- collection time --\n{}",
+            self.objects,
+            self.never_used,
+            self.drag_time.render(),
+            self.in_use_time.render(),
+            self.collection_time.render(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heapdrag_vm::ids::{ClassId, ObjectId};
+
+    fn record(site: u32, created: u64, last_use: Option<u64>, freed: u64) -> ObjectRecord {
+        ObjectRecord {
+            object: ObjectId(0),
+            class: ClassId(0),
+            size: 16,
+            created,
+            freed,
+            last_use,
+            alloc_site: ChainId(site),
+            last_use_site: None,
+            at_exit: false,
+        }
+    }
+
+    #[test]
+    fn buckets_are_logarithmic_and_total() {
+        let b = Buckets::collect([512, 2048, 5000, 100 << 20].into_iter());
+        assert_eq!(b.total(), 4);
+        assert_eq!(b.counts[0], 1, "512 < 1KB bucket");
+        assert_eq!(*b.counts.last().unwrap(), 1, "100MB overflows to last");
+        let text = b.render();
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn histogram_filters_by_site() {
+        let records = vec![
+            record(1, 0, Some(10_000), 200_000),
+            record(1, 0, None, 300_000),
+            record(2, 0, Some(5), 10),
+        ];
+        let h = LifetimeHistogram::for_site(&records, ChainId(1), 0);
+        assert_eq!(h.objects, 2);
+        assert_eq!(h.never_used, 1);
+        assert_eq!(h.drag_time.total(), 2);
+        assert!(h.render().contains("never-used: 1"));
+    }
+
+    #[test]
+    fn empty_site_renders() {
+        let h = LifetimeHistogram::for_site(&[], ChainId(9), 0);
+        assert_eq!(h.objects, 0);
+        assert_eq!(h.render().lines().count(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! # heapdrag-core
+//!
+//! The drag heap profiler of *Heap Profiling for Space-Efficient Java*
+//! (Shaham, Kolodner & Sagiv, PLDI 2001), on top of
+//! [`heapdrag-vm`](heapdrag_vm).
+//!
+//! The tool has two phases:
+//!
+//! 1. **On-line** ([`profiler`]): a [`DragProfiler`] observes a VM run,
+//!    maintaining a *trailer* per object — creation time, last-use time and
+//!    site, size, nested allocation site — and emitting an
+//!    [`record::ObjectRecord`] when the object is reclaimed (the VM forces a
+//!    deep GC every 100 KB of allocation so collection time approximates
+//!    unreachability time). Records can be serialised to a [`log`] file.
+//! 2. **Off-line** ([`analyzer`]): partition records by nested allocation
+//!    site, coarse site, and (allocation, last-use) site pair; accumulate
+//!    the *drag* space-time product per site; classify each site's
+//!    lifetime [`pattern`]; and print a drag-sorted [`report`] that points
+//!    the programmer (or the `heapdrag-transform` optimizer) at the
+//!    rewriting opportunities.
+//!
+//! [`timeline`] reconstructs Figure 2's reachable/in-use curves,
+//! [`integrals`] the space-time integrals, and [`compare`] the savings
+//! ratios of Tables 2 and 3.
+//!
+//! ```
+//! use heapdrag_core::{profile, DragAnalyzer, VmConfig};
+//! use heapdrag_vm::ProgramBuilder;
+//!
+//! # fn main() -> Result<(), heapdrag_vm::VmError> {
+//! let mut b = ProgramBuilder::new();
+//! let main = b.declare_method("main", None, true, 1, 2);
+//! {
+//!     let mut m = b.begin_body(main);
+//!     m.push_int(1000).mark("a big array").new_array().store(1);
+//!     m.load(1).push_int(0).push_int(7).astore(); // one use
+//!     m.ret();
+//!     m.finish();
+//! }
+//! b.set_entry(main);
+//! let program = b.finish()?;
+//!
+//! let run = profile(&program, &[], VmConfig::profiling())?;
+//! let report = DragAnalyzer::new().analyze(&run.records, |c| run.sites.innermost(c));
+//! assert_eq!(report.by_nested_site.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod compare;
+pub mod histogram;
+pub mod integrals;
+pub mod log;
+pub mod pattern;
+pub mod profiler;
+pub mod record;
+pub mod report;
+pub mod timeline;
+
+pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
+pub use compare::SavingsReport;
+pub use histogram::{Buckets, LifetimeHistogram};
+pub use integrals::Integrals;
+pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
+pub use profiler::{profile, DragProfiler, ProfileRun};
+pub use record::{GcSample, ObjectRecord};
+pub use report::{anchor_site, render, ChainNamer, ProgramNamer};
+pub use timeline::{Timeline, TimelinePoint};
+
+// Re-export the VM config so downstream users rarely need heapdrag-vm
+// directly for simple profiling.
+pub use heapdrag_vm::interp::VmConfig;

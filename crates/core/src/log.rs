@@ -1,0 +1,247 @@
+//! The log file format connecting the two phases of the tool.
+//!
+//! Phase 1 (the instrumented VM run) writes one line per object trailer,
+//! per deep-GC sample, and per interned site chain; phase 2 parses the file
+//! back and analyzes it without needing the program. The format is a
+//! versioned, line-oriented text codec:
+//!
+//! ```text
+//! heapdrag-log v1
+//! end 1048576
+//! chain 3 Juru.readDocument@12 "new char[]" <- Juru.run@4
+//! obj 17 8 816 1024 204800 2048 3 5 0
+//! gc 102400 81920 512
+//! ```
+//!
+//! An `obj` line is `id class size created freed last_use alloc_chain
+//! use_chain at_exit`, with `-` for absent optional fields.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
+use heapdrag_vm::program::Program;
+
+use crate::profiler::ProfileRun;
+use crate::record::{GcSample, ObjectRecord};
+use crate::report::ChainNamer;
+
+/// A malformed log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LogError {}
+
+/// The parsed contents of a phase-1 log file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedLog {
+    /// Final allocation-clock value.
+    pub end_time: u64,
+    /// Readable names for the chain ids appearing in the records.
+    pub chain_names: HashMap<ChainId, String>,
+    /// Object trailers.
+    pub records: Vec<ObjectRecord>,
+    /// Deep-GC samples.
+    pub samples: Vec<GcSample>,
+}
+
+impl ChainNamer for ParsedLog {
+    fn chain_name(&self, chain: ChainId) -> String {
+        self.chain_names
+            .get(&chain)
+            .cloned()
+            .unwrap_or_else(|| format!("<chain {}>", chain.0))
+    }
+}
+
+/// Serialises a profiling run (phase-1 output).
+pub fn write_log(run: &ProfileRun, program: &Program) -> String {
+    let mut out = String::from("heapdrag-log v1\n");
+    out.push_str(&format!("end {}\n", run.outcome.end_time));
+    let mut chains: Vec<ChainId> = run
+        .records
+        .iter()
+        .flat_map(|r| [Some(r.alloc_site), r.last_use_site])
+        .flatten()
+        .collect();
+    chains.sort_unstable();
+    chains.dedup();
+    for c in chains {
+        let name = run.sites.format_chain(program, c).replace('\n', " ");
+        out.push_str(&format!("chain {} {}\n", c.0, name));
+    }
+    for r in &run.records {
+        out.push_str(&format!(
+            "obj {} {} {} {} {} {} {} {} {}\n",
+            r.object.0,
+            r.class.0,
+            r.size,
+            r.created,
+            r.freed,
+            r.last_use.map_or("-".to_string(), |t| t.to_string()),
+            r.alloc_site.0,
+            r.last_use_site.map_or("-".to_string(), |c| c.0.to_string()),
+            r.at_exit as u8,
+        ));
+    }
+    for s in &run.samples {
+        out.push_str(&format!(
+            "gc {} {} {}\n",
+            s.time, s.reachable_bytes, s.reachable_count
+        ));
+    }
+    out
+}
+
+fn field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, LogError> {
+    let word = parts.next().ok_or_else(|| LogError {
+        line,
+        message: format!("missing field `{what}`"),
+    })?;
+    word.parse().map_err(|_| LogError {
+        line,
+        message: format!("bad value `{word}` for `{what}`"),
+    })
+}
+
+fn opt_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<Option<T>, LogError> {
+    let word = parts.next().ok_or_else(|| LogError {
+        line,
+        message: format!("missing field `{what}`"),
+    })?;
+    if word == "-" {
+        return Ok(None);
+    }
+    word.parse().map(Some).map_err(|_| LogError {
+        line,
+        message: format!("bad value `{word}` for `{what}`"),
+    })
+}
+
+/// Parses a phase-1 log (phase-2 input).
+///
+/// # Errors
+///
+/// Returns a [`LogError`] naming the first malformed line.
+pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (_, header) = lines.next().ok_or(LogError {
+        line: 1,
+        message: "empty log".into(),
+    })?;
+    if header != "heapdrag-log v1" {
+        return Err(LogError {
+            line: 1,
+            message: format!("unrecognised header `{header}`"),
+        });
+    }
+    let mut log = ParsedLog::default();
+    for (n, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("end") => {
+                log.end_time = field(&mut parts, n, "end time")?;
+            }
+            Some("chain") => {
+                let id: u32 = field(&mut parts, n, "chain id")?;
+                let rest: Vec<&str> = parts.collect();
+                log.chain_names.insert(ChainId(id), rest.join(" "));
+            }
+            Some("obj") => {
+                let object = ObjectId(field(&mut parts, n, "object id")?);
+                let class = ClassId(field(&mut parts, n, "class id")?);
+                let size = field(&mut parts, n, "size")?;
+                let created = field(&mut parts, n, "created")?;
+                let freed = field(&mut parts, n, "freed")?;
+                let last_use = opt_field(&mut parts, n, "last use")?;
+                let alloc_site = ChainId(field(&mut parts, n, "alloc chain")?);
+                let last_use_site = opt_field::<u32>(&mut parts, n, "use chain")?.map(ChainId);
+                let at_exit: u8 = field(&mut parts, n, "at-exit flag")?;
+                log.records.push(ObjectRecord {
+                    object,
+                    class,
+                    size,
+                    created,
+                    freed,
+                    last_use,
+                    alloc_site,
+                    last_use_site,
+                    at_exit: at_exit != 0,
+                });
+            }
+            Some("gc") => {
+                log.samples.push(GcSample {
+                    time: field(&mut parts, n, "time")?,
+                    reachable_bytes: field(&mut parts, n, "reachable bytes")?,
+                    reachable_count: field(&mut parts, n, "reachable count")?,
+                });
+            }
+            Some(other) => {
+                return Err(LogError {
+                    line: n,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        let e = parse_log("not-a-log\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn parse_handcrafted_log() {
+        let text = "heapdrag-log v1\nend 1000\nchain 0 Main.main@3 \"big array\"\nobj 1 2 816 16 900 320 0 0 0\nobj 2 2 24 32 1000 - 0 - 1\ngc 500 840 2\n";
+        let log = parse_log(text).unwrap();
+        assert_eq!(log.end_time, 1000);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.samples.len(), 1);
+        assert_eq!(log.records[0].last_use, Some(320));
+        assert_eq!(log.records[1].last_use, None);
+        assert!(log.records[1].at_exit);
+        assert!(log.chain_name(ChainId(0)).contains("big array"));
+        assert!(log.chain_name(ChainId(9)).contains("<chain 9>"));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "heapdrag-log v1\nobj 1 bad\n";
+        let e = parse_log(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        let text = "heapdrag-log v1\nwhat 1\n";
+        let e = parse_log(text).unwrap_err();
+        assert!(e.message.contains("what"));
+    }
+}

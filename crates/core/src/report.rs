@@ -1,0 +1,232 @@
+//! Human-readable rendering of drag reports — the textual output a
+//! programmer reads to decide where to rewrite code.
+
+use heapdrag_vm::ids::ChainId;
+use heapdrag_vm::program::Program;
+use heapdrag_vm::site::SiteTable;
+
+use crate::analyzer::DragReport;
+
+/// Resolves chain ids to readable site names.
+///
+/// Implemented by [`ProgramNamer`] (in-memory phase-1 output) and by
+/// [`ParsedLog`](crate::log::ParsedLog) (phase-2 input read from a file).
+pub trait ChainNamer {
+    /// A readable rendering of the nested site, innermost frame first.
+    fn chain_name(&self, chain: ChainId) -> String;
+}
+
+/// Names chains against a live [`Program`] and its [`SiteTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramNamer<'a> {
+    /// The program that ran.
+    pub program: &'a Program,
+    /// The site table of the run.
+    pub sites: &'a SiteTable,
+}
+
+impl ChainNamer for ProgramNamer<'_> {
+    fn chain_name(&self, chain: ChainId) -> String {
+        self.sites.format_chain(self.program, chain)
+    }
+}
+
+fn fmt_mb2(v: u128) -> String {
+    format!("{:.3}", v as f64 / (1024.0 * 1024.0))
+}
+
+/// Renders the report: totals, the top `top` nested allocation sites by
+/// drag, and the never-used "sure bet" sites.
+pub fn render(report: &DragReport, namer: &dyn ChainNamer, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str("=== drag report ===\n");
+    out.push_str(&format!(
+        "reachable integral: {} MByte^2\nin-use integral:    {} MByte^2\ntotal drag:         {} MByte^2\n",
+        fmt_mb2(report.totals.reachable),
+        fmt_mb2(report.totals.in_use),
+        fmt_mb2(report.total_drag()),
+    ));
+
+    out.push_str(&format!(
+        "\n--- top {} nested allocation sites by drag ---\n",
+        top.min(report.by_nested_site.len())
+    ));
+    out.push_str("rank  drag(MB^2)  objects  never-used  pattern               suggested          site\n");
+    for (i, e) in report.by_nested_site.iter().take(top).enumerate() {
+        out.push_str(&format!(
+            "{:>4}  {:>10}  {:>7}  {:>10}  {:<20}  {:<17}  {}\n",
+            i + 1,
+            fmt_mb2(e.stats.drag),
+            e.stats.objects,
+            e.stats.never_used,
+            e.stats.pattern.to_string(),
+            e.stats.suggested_transform().to_string(),
+            namer.chain_name(e.site),
+        ));
+    }
+
+    if !report.never_used_sites.is_empty() {
+        out.push_str("\n--- never-used allocation sites (\"sure bets\") ---\n");
+        for e in report.never_used_sites.iter().take(top) {
+            out.push_str(&format!(
+                "{:>10} MB^2  {:>7} objects  {}\n",
+                fmt_mb2(e.stats.drag),
+                e.stats.objects,
+                namer.chain_name(e.site),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::DragAnalyzer;
+    use crate::record::ObjectRecord;
+    use heapdrag_vm::ids::{ClassId, ObjectId, SiteId};
+
+    struct FixedNamer;
+    impl ChainNamer for FixedNamer {
+        fn chain_name(&self, chain: ChainId) -> String {
+            format!("site-{}", chain.0)
+        }
+    }
+
+    #[test]
+    fn render_contains_sites_and_totals() {
+        let records = vec![
+            ObjectRecord {
+                object: ObjectId(1),
+                class: ClassId(0),
+                size: 100,
+                created: 0,
+                freed: 1000,
+                last_use: None,
+                alloc_site: ChainId(3),
+                last_use_site: None,
+                at_exit: false,
+            },
+            ObjectRecord {
+                object: ObjectId(2),
+                class: ClassId(0),
+                size: 10,
+                created: 0,
+                freed: 100,
+                last_use: Some(90),
+                alloc_site: ChainId(4),
+                last_use_site: Some(ChainId(5)),
+                at_exit: false,
+            },
+        ];
+        let report = DragAnalyzer::new().analyze(&records, |c| Some(SiteId(c.0)));
+        let text = render(&report, &FixedNamer, 10);
+        assert!(text.contains("site-3"));
+        assert!(text.contains("site-4"));
+        assert!(text.contains("sure bets"));
+        assert!(text.contains("total drag"));
+        // Highest-drag site listed first.
+        let pos3 = text.find("site-3").unwrap();
+        let pos4 = text.find("site-4").unwrap();
+        assert!(pos3 < pos4);
+    }
+
+    #[test]
+    fn render_empty_report() {
+        let report = DragAnalyzer::new().analyze(&[], |c| Some(SiteId(c.0)));
+        let text = render(&report, &FixedNamer, 5);
+        assert!(text.contains("drag report"));
+        assert!(!text.contains("sure bets"));
+    }
+}
+
+/// §3.4's *anchor allocation site*: walking a nested site's call chain
+/// outwards from the (usually library-level) innermost frame, the first
+/// frame in *application code* — the place a programmer should look at.
+///
+/// `library_prefixes` name the class-name (or free-function name)
+/// prefixes considered library code, e.g. `["jdk."]`. Returns the
+/// innermost frame when the whole chain is library code.
+pub fn anchor_site(
+    program: &Program,
+    sites: &SiteTable,
+    chain: heapdrag_vm::ids::ChainId,
+    library_prefixes: &[&str],
+) -> Option<heapdrag_vm::ids::SiteId> {
+    let frames = sites.chain(chain);
+    let is_library = |site: heapdrag_vm::ids::SiteId| {
+        let method = sites.site(site).method;
+        let name = program.method_name(method);
+        library_prefixes.iter().any(|p| name.starts_with(p))
+    };
+    frames
+        .iter()
+        .copied()
+        .find(|s| !is_library(*s))
+        .or_else(|| frames.first().copied())
+}
+
+#[cfg(test)]
+mod anchor_tests {
+    use super::*;
+    use heapdrag_vm::ids::MethodId;
+
+    /// Builds a program with a library helper allocating on behalf of an
+    /// application caller, then checks the anchor walk.
+    #[test]
+    fn anchor_walks_past_library_frames() {
+        use heapdrag_vm::builder::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let lib_cls = b.begin_class("jdk.Buf").finish();
+        let lib_make = b.declare_method("make", None, true, 0, 1);
+        {
+            let mut m = b.begin_body(lib_make);
+            m.new_obj(lib_cls).ret_val();
+            m.finish();
+        }
+        // Rename to live under the library namespace.
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.call(lib_make).pop();
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let mut p = b.finish().unwrap();
+        p.methods[lib_make.index()].name = "jdk.make".into();
+
+        let run = crate::profiler::profile(&p, &[], crate::VmConfig::profiling()).unwrap();
+        let record = run.records.first().expect("the Buf was profiled");
+        let anchor = anchor_site(&p, &run.sites, record.alloc_site, &["jdk."]).unwrap();
+        assert_eq!(
+            run.sites.site(anchor).method,
+            main,
+            "anchor is the application frame, not jdk.make"
+        );
+        // With no library prefixes, the innermost frame is the anchor.
+        let inner = anchor_site(&p, &run.sites, record.alloc_site, &[]).unwrap();
+        assert_eq!(run.sites.site(inner).method, MethodId(0));
+    }
+
+    #[test]
+    fn all_library_chain_falls_back_to_innermost() {
+        use heapdrag_vm::builder::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("C").finish();
+        let main = b.declare_method("main", None, true, 1, 1);
+        {
+            let mut m = b.begin_body(main);
+            m.new_obj(c).pop();
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        let p = b.finish().unwrap();
+        let run = crate::profiler::profile(&p, &[], crate::VmConfig::profiling()).unwrap();
+        let record = run.records.first().unwrap();
+        // Everything matches the prefix: fall back to the innermost frame.
+        let anchor = anchor_site(&p, &run.sites, record.alloc_site, &["main"]).unwrap();
+        assert_eq!(run.sites.site(anchor).method, main);
+    }
+}

@@ -1,0 +1,329 @@
+//! The abstract syntax tree of the mini-Java language.
+
+/// A type annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeName {
+    /// 64-bit integer.
+    Int,
+    /// An array with the given element type, e.g. `int[]`, `Point[]`.
+    Array(Box<TypeName>),
+    /// An instance of the named class (or a subclass), or null.
+    Class(String),
+}
+
+impl std::fmt::Display for TypeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeName::Int => f.write_str("int"),
+            TypeName::Array(e) => write!(f, "{e}[]"),
+            TypeName::Class(c) => f.write_str(c),
+        }
+    }
+}
+
+/// Field/static visibility (mirrors the VM's, for Table 5 reporting and
+/// analysis scoping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Vis {
+    /// Declaring class only.
+    #[default]
+    Private,
+    /// Same package.
+    Package,
+    /// Class and subclasses.
+    Protected,
+    /// Everywhere.
+    Public,
+}
+
+/// A whole source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceProgram {
+    /// Class declarations.
+    pub classes: Vec<ClassDecl>,
+    /// Top-level (free) functions; one must be `main`.
+    pub funcs: Vec<FuncDecl>,
+    /// Top-level static variables.
+    pub statics: Vec<StaticDecl>,
+}
+
+/// `class Name (extends Super)? { fields… methods… }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass, if any.
+    pub extends: Option<String>,
+    /// Declared fields.
+    pub fields: Vec<FieldDecl>,
+    /// Instance methods (`this` is implicit parameter 0).
+    pub methods: Vec<FuncDecl>,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// `vis? field name: type;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Visibility (default private).
+    pub vis: Vis,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// `def name(params): ret? { … }` — top-level or inside a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function or method name.
+    pub name: String,
+    /// Parameters (name, type), excluding the implicit `this`.
+    pub params: Vec<(String, TypeName)>,
+    /// Return type; `None` is void.
+    pub ret: Option<TypeName>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// `vis? static name: type (= INT)?;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticDecl {
+    /// Static variable name.
+    pub name: String,
+    /// Visibility.
+    pub vis: Vis,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Integer initialiser (class/arr statics start null).
+    pub init: Option<i64>,
+    /// Declaration line.
+    pub line: usize,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var x: T = e;` (type may be inferred from `e`).
+    Var {
+        /// Variable name.
+        name: String,
+        /// Optional annotation.
+        ty: Option<TypeName>,
+        /// Initialiser.
+        init: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `lvalue = e;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (e) { … } else { … }`
+    If {
+        /// Condition (non-zero int is true).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (e) { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return e?;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `print e;`
+    Print {
+        /// The int to print.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression evaluated for effect (e.g. a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A local variable or (if no local shadows it) a static.
+    Name(String),
+    /// `recv.field`
+    Field {
+        /// Receiver expression.
+        recv: Expr,
+        /// Field name.
+        name: String,
+    },
+    /// `arr[idx]`
+    Index {
+        /// The array.
+        arr: Expr,
+        /// The element index.
+        idx: Expr,
+    },
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An expression. Every variant carries its source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, usize),
+    /// `null`.
+    Null(usize),
+    /// `this` (inside methods).
+    This(usize),
+    /// A local variable or static.
+    Name(String, usize),
+    /// Unary minus.
+    Neg(Box<Expr>, usize),
+    /// Logical negation: `!e` is 1 when `e` is 0, else 0.
+    Not(Box<Expr>, usize),
+    /// Short-circuit `lhs && rhs` (0/1-valued).
+    And(Box<Expr>, Box<Expr>, usize),
+    /// Short-circuit `lhs || rhs` (0/1-valued).
+    Or(Box<Expr>, Box<Expr>, usize),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `recv.field`
+    Field {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `arr[idx]`
+    Index {
+        /// The array.
+        arr: Box<Expr>,
+        /// The index.
+        idx: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `arr.length`
+    Length {
+        /// The array.
+        arr: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `recv.m(args)` (virtual) or `f(args)` (free function).
+    Call {
+        /// Receiver; `None` for free-function calls.
+        recv: Option<Box<Expr>>,
+        /// Method or function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `new C(args)` — allocates and, when `C` declares `init`, calls it.
+    New {
+        /// Class name.
+        class: String,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `new T[len]`.
+    NewArray {
+        /// Element type.
+        elem: TypeName,
+        /// Element count.
+        len: Box<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// The source line of the expression.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Null(l)
+            | Expr::This(l)
+            | Expr::Name(_, l)
+            | Expr::Neg(_, l)
+            | Expr::Not(_, l)
+            | Expr::And(_, _, l)
+            | Expr::Or(_, _, l) => *l,
+            Expr::Binary { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Length { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. } => *line,
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Front-end errors with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexing, parsing, type, or code-generation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        LangError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line_and_message() {
+        let e = LangError::new(12, "unexpected `}`");
+        assert_eq!(e.to_string(), "line 12: unexpected `}`");
+    }
+}

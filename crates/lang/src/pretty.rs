@@ -1,0 +1,263 @@
+//! Pretty-printing of ASTs back to parseable source text.
+//!
+//! `parse(print(ast))` reproduces the AST (modulo line numbers) — the
+//! round-trip property the test suite checks with random programs.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole program.
+pub fn print_program(p: &SourceProgram) -> String {
+    let mut out = String::new();
+    for s in &p.statics {
+        let _ = write!(out, "{} static {}: {}", vis(s.vis), s.name, s.ty);
+        if let Some(v) = s.init {
+            let _ = write!(out, " = {v}");
+        }
+        out.push_str(";\n");
+    }
+    for c in &p.classes {
+        let _ = write!(out, "class {}", c.name);
+        if let Some(sup) = &c.extends {
+            let _ = write!(out, " extends {sup}");
+        }
+        out.push_str(" {\n");
+        for f in &c.fields {
+            let _ = writeln!(out, "    {} field {}: {};", vis(f.vis), f.name, f.ty);
+        }
+        for m in &c.methods {
+            print_func(&mut out, m, 1);
+        }
+        out.push_str("}\n");
+    }
+    for f in &p.funcs {
+        print_func(&mut out, f, 0);
+    }
+    out
+}
+
+fn vis(v: Vis) -> &'static str {
+    match v {
+        Vis::Private => "private",
+        Vis::Package => "package",
+        Vis::Protected => "protected",
+        Vis::Public => "public",
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_func(out: &mut String, f: &FuncDecl, level: usize) {
+    indent(out, level);
+    let _ = write!(out, "def {}(", f.name);
+    for (i, (name, ty)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{name}: {ty}");
+    }
+    out.push(')');
+    if let Some(ret) = &f.ret {
+        let _ = write!(out, ": {ret}");
+    }
+    out.push_str(" {\n");
+    for s in &f.body {
+        print_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push_str("}\n");
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Var { name, ty, init, .. } => {
+            let _ = write!(out, "var {name}");
+            if let Some(t) = ty {
+                let _ = write!(out, ": {t}");
+            }
+            let _ = writeln!(out, " = {};", print_expr(init));
+        }
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                LValue::Name(n) => n.clone(),
+                LValue::Field { recv, name } => format!("{}.{name}", print_expr(recv)),
+                LValue::Index { arr, idx } => {
+                    format!("{}[{}]", print_expr(arr), print_expr(idx))
+                }
+            };
+            let _ = writeln!(out, "{t} = {};", print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            for st in then_body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for st in else_body {
+                    print_stmt(out, st, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Print { value, .. } => {
+            let _ = writeln!(out, "print {};", print_expr(value));
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+/// Renders one expression (fully parenthesised, so precedence always
+/// round-trips).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Null(_) => "null".into(),
+        Expr::This(_) => "this".into(),
+        Expr::Name(n, _) => n.clone(),
+        Expr::Neg(inner, _) => format!("(-{})", print_expr(inner)),
+        Expr::Not(inner, _) => format!("(!{})", print_expr(inner)),
+        Expr::And(l, r, _) => format!("({} && {})", print_expr(l), print_expr(r)),
+        Expr::Or(l, r, _) => format!("({} || {})", print_expr(l), print_expr(r)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", print_expr(lhs), binop(*op), print_expr(rhs))
+        }
+        Expr::Field { recv, name, .. } => format!("{}.{name}", print_expr(recv)),
+        Expr::Index { arr, idx, .. } => format!("{}[{}]", print_expr(arr), print_expr(idx)),
+        Expr::Length { arr, .. } => format!("{}.length", print_expr(arr)),
+        Expr::Call {
+            recv, name, args, ..
+        } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            match recv {
+                Some(r) => format!("{}.{name}({})", print_expr(r), args.join(", ")),
+                None => format!("{name}({})", args.join(", ")),
+            }
+        }
+        Expr::New { class, args, .. } => {
+            if args.is_empty() {
+                format!("new {class}")
+            } else {
+                let args: Vec<String> = args.iter().map(print_expr).collect();
+                format!("new {class}({})", args.join(", "))
+            }
+        }
+        Expr::NewArray { elem, len, .. } => {
+            // `new int[n]` / `new int[][n]` — element suffixes first.
+            let mut base = elem.clone();
+            let mut suffixes = 0;
+            while let TypeName::Array(inner) = base {
+                base = *inner;
+                suffixes += 1;
+            }
+            let mut out = format!("new {base}");
+            for _ in 0..suffixes {
+                out.push_str("[]");
+            }
+            let _ = write!(out, "[{}]", print_expr(len));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse(&lex(src).unwrap()).unwrap();
+        let printed = print_program(&ast1);
+        let ast2 = parse(&lex(&printed).unwrap())
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let printed2 = print_program(&ast2);
+        assert_eq!(printed, printed2, "printing is a fixed point");
+    }
+
+    #[test]
+    fn roundtrips_a_full_program() {
+        roundtrip(
+            r#"
+public static total: int = 3;
+class Node extends Base { private field next: Node; public field v: int;
+    def init(v: int) { this.v = v; this.next = null; }
+    def sum(): int { if (this.next == null) { return this.v; } return this.v + this.next.sum(); }
+}
+class Base { }
+def helper(xs: int[][], n: int): int { return xs[0][n] * -2; }
+def main(input: int[]) {
+    var m: int[][] = new int[][3];
+    m[0] = new int[5];
+    while (m[0][0] < 4) { m[0][0] = m[0][0] + 1; }
+    print helper(m, 0);
+    total = total % 2;
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn printed_programs_compile_identically() {
+        let src = r#"
+class P { field x: int; def init(x: int) { this.x = x; } def get(): int { return this.x; } }
+def main(input: int[]) { var p: P = new P(input.length); print p.get(); }
+"#;
+        let ast = parse(&lex(src).unwrap()).unwrap();
+        let p1 = crate::codegen::compile(&ast).unwrap();
+        let printed = print_program(&ast);
+        let p2 = crate::compile_source(&printed).unwrap();
+        use heapdrag_vm::interp::{Vm, VmConfig};
+        let o1 = Vm::new(&p1, VmConfig::default()).run(&[5, 6]).unwrap();
+        let o2 = Vm::new(&p2, VmConfig::default()).run(&[5, 6]).unwrap();
+        assert_eq!(o1.output, o2.output);
+        assert_eq!(o1.output, vec![2]);
+    }
+}

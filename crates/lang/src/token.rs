@@ -1,0 +1,167 @@
+//! Tokens of the mini-Java surface language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // literals & names
+    /// An integer literal.
+    Int(i64),
+    /// An identifier.
+    Ident(String),
+
+    // keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `field`
+    Field,
+    /// `def`
+    Def,
+    /// `var`
+    Var,
+    /// `static`
+    Static,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `print`
+    Print,
+    /// `new`
+    New,
+    /// `null`
+    Null,
+    /// `this`
+    This,
+    /// `private`
+    Private,
+    /// `package`
+    Package,
+    /// `protected`
+    Protected,
+    /// `public`
+    Public,
+
+    // punctuation & operators
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Class => f.write_str("class"),
+            Token::Extends => f.write_str("extends"),
+            Token::Field => f.write_str("field"),
+            Token::Def => f.write_str("def"),
+            Token::Var => f.write_str("var"),
+            Token::Static => f.write_str("static"),
+            Token::If => f.write_str("if"),
+            Token::Else => f.write_str("else"),
+            Token::While => f.write_str("while"),
+            Token::Return => f.write_str("return"),
+            Token::Print => f.write_str("print"),
+            Token::New => f.write_str("new"),
+            Token::Null => f.write_str("null"),
+            Token::This => f.write_str("this"),
+            Token::Private => f.write_str("private"),
+            Token::Package => f.write_str("package"),
+            Token::Protected => f.write_str("protected"),
+            Token::Public => f.write_str("public"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Semi => f.write_str(";"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Colon => f.write_str(":"),
+            Token::Assign => f.write_str("="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Eq => f.write_str("=="),
+            Token::Ne => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::AndAnd => f.write_str("&&"),
+            Token::OrOr => f.write_str("||"),
+            Token::Bang => f.write_str("!"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token together with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number where it starts.
+    pub line: usize,
+}

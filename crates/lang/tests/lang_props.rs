@@ -1,0 +1,165 @@
+//! Property tests for the front end: randomly generated well-typed
+//! programs print → parse → compile → run deterministically, and the
+//! printer/parser pair is a round-trip.
+
+use heapdrag_lang::pretty::print_program;
+use heapdrag_lang::{compile_source, lexer, parser};
+use heapdrag_vm::interp::{Vm, VmConfig};
+use proptest::prelude::*;
+
+/// Generator for well-typed statements over: int locals `a`, `b`; an
+/// int-array local `xs`; a `Box` object local `bx` (class with int field
+/// `v` and method `bump`).
+#[derive(Debug, Clone)]
+enum GenStmt {
+    SetA(i32),
+    AddAB,
+    StoreXs(u8, i32),
+    ReadXs(u8),
+    NewBox(i32),
+    Bump,
+    ReadBox,
+    PrintA,
+    IfALtB(Vec<GenStmt>, Vec<GenStmt>),
+    WhileCounted(u8, Vec<GenStmt>),
+}
+
+fn leaf() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (-50..50i32).prop_map(GenStmt::SetA),
+        Just(GenStmt::AddAB),
+        (0..8u8, -9..9i32).prop_map(|(i, v)| GenStmt::StoreXs(i, v)),
+        (0..8u8).prop_map(GenStmt::ReadXs),
+        (-20..20i32).prop_map(GenStmt::NewBox),
+        Just(GenStmt::Bump),
+        Just(GenStmt::ReadBox),
+        Just(GenStmt::PrintA),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = GenStmt> {
+    leaf().prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            (
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(t, e)| GenStmt::IfALtB(t, e)),
+            (1..5u8, proptest::collection::vec(inner, 0..3))
+                .prop_map(|(n, b)| GenStmt::WhileCounted(n, b)),
+        ]
+    })
+}
+
+fn render(stmts: &[GenStmt], out: &mut String, counter: &mut usize) {
+    for s in stmts {
+        match s {
+            GenStmt::SetA(v) => out.push_str(&format!("a = {v};\n")),
+            GenStmt::AddAB => out.push_str("a = a + b;\nb = b + 1;\n"),
+            GenStmt::StoreXs(i, v) => out.push_str(&format!("xs[{i}] = {v};\n")),
+            GenStmt::ReadXs(i) => out.push_str(&format!("a = a + xs[{i}];\n")),
+            GenStmt::NewBox(v) => out.push_str(&format!("bx = new Box({v});\n")),
+            GenStmt::Bump => out.push_str("bx.bump();\n"),
+            GenStmt::ReadBox => out.push_str("a = a + bx.v;\n"),
+            GenStmt::PrintA => out.push_str("print a;\n"),
+            GenStmt::IfALtB(t, e) => {
+                out.push_str("if (a < b) {\n");
+                render(t, out, counter);
+                out.push_str("} else {\n");
+                render(e, out, counter);
+                out.push_str("}\n");
+            }
+            GenStmt::WhileCounted(n, body) => {
+                *counter += 1;
+                let c = format!("c{counter}");
+                out.push_str(&format!("var {c}: int = 0;\nwhile ({c} < {n}) {{\n"));
+                render(body, out, counter);
+                out.push_str(&format!("{c} = {c} + 1;\n}}\n"));
+            }
+        }
+    }
+}
+
+fn source_for(stmts: &[GenStmt]) -> String {
+    let mut body = String::new();
+    let mut counter = 0;
+    render(stmts, &mut body, &mut counter);
+    format!(
+        r#"
+class Box {{
+    field v: int;
+    def init(v: int) {{ this.v = v; }}
+    def bump() {{ this.v = this.v + 1; }}
+}}
+def main(input: int[]) {{
+    var a: int = 0;
+    var b: int = 1;
+    var xs: int[] = new int[8];
+    var bx: Box = new Box(0);
+{body}
+    print a;
+    print b;
+    print bx.v;
+}}
+"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_sources_compile_and_run_deterministically(
+        stmts in proptest::collection::vec(stmt(), 0..10)
+    ) {
+        let src = source_for(&stmts);
+        let program = compile_source(&src)
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        heapdrag_vm::verify::verify_program(&program).expect("verifier-clean");
+        let a = Vm::new(&program, VmConfig::default()).run(&[]).expect("runs");
+        let b = Vm::new(&program, VmConfig::profiling()).run(&[]).expect("runs");
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn pretty_print_parse_is_a_fixed_point(
+        stmts in proptest::collection::vec(stmt(), 0..10)
+    ) {
+        let src = source_for(&stmts);
+        let ast1 = parser::parse(&lexer::lex(&src).unwrap()).unwrap();
+        let printed1 = print_program(&ast1);
+        let ast2 = parser::parse(&lexer::lex(&printed1).unwrap())
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed1}"));
+        let printed2 = print_program(&ast2);
+        prop_assert_eq!(printed1, printed2);
+    }
+
+    #[test]
+    fn printed_source_behaves_identically(
+        stmts in proptest::collection::vec(stmt(), 0..8)
+    ) {
+        let src = source_for(&stmts);
+        let ast = parser::parse(&lexer::lex(&src).unwrap()).unwrap();
+        let printed = print_program(&ast);
+        let p1 = compile_source(&src).expect("original compiles");
+        let p2 = compile_source(&printed)
+            .unwrap_or_else(|e| panic!("printed source failed: {e}\n{printed}"));
+        let o1 = Vm::new(&p1, VmConfig::default()).run(&[]).expect("runs");
+        let o2 = Vm::new(&p2, VmConfig::default()).run(&[]).expect("runs");
+        prop_assert_eq!(o1.output, o2.output);
+    }
+}
+
+/// The AST type parameter of [`TypeName::Array`] round-trips through the
+/// printer too (regression guard for the `new int[][n]` suffix logic).
+#[test]
+fn nested_array_types_roundtrip() {
+    let src = "def main(input: int[]) { var m: int[][][] = new int[][][2]; print m.length; }";
+    let ast = parser::parse(&lexer::lex(src).unwrap()).unwrap();
+    let printed = print_program(&ast);
+    assert!(printed.contains("int[][][]"), "{printed}");
+    let out = Vm::new(&compile_source(&printed).unwrap(), VmConfig::default())
+        .run(&[])
+        .unwrap();
+    assert_eq!(out.output, vec![2]);
+}

@@ -1,0 +1,383 @@
+//! The profile-guided optimizer: §3.4's "putting it all together", run
+//! mechanically. Given a drag profile, walk the allocation sites from
+//! largest drag down and apply the transformation the site's lifetime
+//! pattern suggests, with every safety check of the static analyses.
+
+use std::collections::HashSet;
+
+use heapdrag_core::analyzer::DragReport;
+use heapdrag_core::pattern::{LifetimePattern, TransformKind};
+use heapdrag_core::profiler::ProfileRun;
+use heapdrag_vm::ids::{ChainId, MethodId};
+use heapdrag_vm::program::Program;
+
+use crate::assign_null::assign_null_method;
+use crate::dead_code::{remove_dead_allocation, DeadCodeContext};
+use crate::lazy_alloc::{apply_lazy_allocation, find_lazy_candidates};
+
+/// Tuning for the optimizer's site walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerOptions {
+    /// Ignore sites contributing less than this share of the total drag.
+    pub min_drag_share: f64,
+    /// Visit at most this many sites.
+    pub max_sites: usize,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            min_drag_share: 0.01,
+            max_sites: 25,
+        }
+    }
+}
+
+/// One transformation the optimizer performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedTransform {
+    /// The profiled site that motivated the rewrite.
+    pub site: ChainId,
+    /// Which of the three rewritings ran.
+    pub kind: TransformKind,
+    /// Human-readable description of what was changed.
+    pub detail: String,
+}
+
+/// The optimizer's report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptimizationOutcome {
+    /// Transformations applied, in site-drag order.
+    pub applied: Vec<AppliedTransform>,
+    /// Sites visited whose suggested rewriting was refused by a safety
+    /// check (site, reason).
+    pub refused: Vec<(ChainId, String)>,
+}
+
+fn assign_null_chain(
+    program: &mut Program,
+    run: &ProfileRun,
+    site: ChainId,
+    nulled: &mut HashSet<MethodId>,
+    shifted: &mut HashSet<MethodId>,
+) -> usize {
+    let mut inserted = 0usize;
+    for s in run.sites.chain(site) {
+        let m = run.sites.site(*s).method;
+        if nulled.contains(&m) || shifted.contains(&m) {
+            continue;
+        }
+        if let Ok(n) = assign_null_method(program, m) {
+            inserted += n;
+            if n > 0 {
+                // Insertions shift pcs; stale profiled pcs in this method
+                // must not be rewritten further this round.
+                shifted.insert(m);
+            }
+        }
+        nulled.insert(m);
+    }
+    inserted
+}
+
+/// Rewrites `program` in place, guided by `run`/`report`.
+///
+/// The program must be the one that produced the profile (site pcs are
+/// looked up in it). After the call the program is relinked by the caller
+/// via [`Program::link`] — the transforms keep jump targets consistent, so
+/// this is just a revalidation.
+pub fn optimize(
+    program: &mut Program,
+    run: &ProfileRun,
+    report: &DragReport,
+    options: OptimizerOptions,
+) -> OptimizationOutcome {
+    let mut outcome = OptimizationOutcome::default();
+    let total_drag = report.total_drag().max(1);
+    let mut nulled_methods: HashSet<MethodId> = HashSet::new();
+    // Dead-code removal and lazy allocation both shift pcs; since profiled
+    // pcs refer to the original program, apply at most one pc-shifting
+    // transform per method, then stop touching that method.
+    let mut shifted_methods: HashSet<MethodId> = HashSet::new();
+
+    for entry in report.by_nested_site.iter().take(options.max_sites) {
+        let share = entry.stats.drag as f64 / total_drag as f64;
+        if share < options.min_drag_share {
+            break;
+        }
+        let Some(site_id) = run.sites.innermost(entry.site) else {
+            continue;
+        };
+        let info = run.sites.site(site_id);
+        let (method, pc) = (info.method, info.pc);
+
+        match entry.stats.pattern.suggested_transform() {
+            TransformKind::DeadCodeRemoval => {
+                if shifted_methods.contains(&method) {
+                    outcome
+                        .refused
+                        .push((entry.site, "method already rewritten this round".into()));
+                    continue;
+                }
+                let ctx = DeadCodeContext::build(program);
+                match remove_dead_allocation(program, &ctx, method, pc) {
+                    Ok(r) => {
+                        shifted_methods.insert(method);
+                        outcome.applied.push(AppliedTransform {
+                            site: entry.site,
+                            kind: TransformKind::DeadCodeRemoval,
+                            detail: format!(
+                                "removed allocation at {}@{}{}",
+                                program.method_name(method),
+                                r.pc,
+                                match r.ctor_call {
+                                    Some(c) => format!(" (+ constructor call at {c})"),
+                                    None => String::new(),
+                                }
+                            ),
+                        });
+                    }
+                    Err(e) => {
+                        outcome.refused.push((entry.site, e.to_string()));
+                        // Fall back to the always-safe rewrite.
+                        let n = assign_null_chain(
+                            program,
+                            run,
+                            entry.site,
+                            &mut nulled_methods,
+                            &mut shifted_methods,
+                        );
+                        if n > 0 {
+                            outcome.applied.push(AppliedTransform {
+                                site: entry.site,
+                                kind: TransformKind::AssignNull,
+                                detail: format!(
+                                    "fallback: inserted {n} null store(s) on the call chain"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            TransformKind::LazyAllocation => {
+                if shifted_methods.contains(&method) {
+                    outcome
+                        .refused
+                        .push((entry.site, "method already rewritten this round".into()));
+                    continue;
+                }
+                let callgraph = heapdrag_analysis::CallGraph::build(program);
+                let purity = heapdrag_analysis::Purity::build(program, &callgraph);
+                // §3.4's anchor walk: the innermost frame is usually inside
+                // library code (e.g. the array allocation in Vector.init);
+                // walk the chain outwards to the first frame holding a
+                // rewritable constructor shape around its call site.
+                let candidate = run
+                    .sites
+                    .chain(entry.site)
+                    .iter()
+                    .filter(|s| !shifted_methods.contains(&run.sites.site(**s).method))
+                    .find_map(|s| {
+                        let info = run.sites.site(*s);
+                        find_lazy_candidates(program, &purity, info.method)
+                            .into_iter()
+                            .find(|c| c.alloc_pc <= info.pc && info.pc <= c.store_pc)
+                    });
+                match candidate.as_ref() {
+                    Some(c) => match apply_lazy_allocation(program, c) {
+                        Ok(applied) => {
+                            shifted_methods.insert(method);
+                            shifted_methods.insert(c.ctor);
+                            for g in &applied.guards {
+                                shifted_methods.insert(g.method);
+                            }
+                            outcome.applied.push(AppliedTransform {
+                                site: entry.site,
+                                kind: TransformKind::LazyAllocation,
+                                detail: format!(
+                                    "delayed allocation of field slot {} of {} ({} guard(s))",
+                                    c.slot,
+                                    program.classes[c.class.index()].name,
+                                    applied.guards.len()
+                                ),
+                            });
+                        }
+                        Err(e) => outcome.refused.push((entry.site, e.to_string())),
+                    },
+                    None => outcome.refused.push((
+                        entry.site,
+                        "no lazy-allocation candidate at this site".into(),
+                    )),
+                }
+            }
+            TransformKind::AssignNull => {
+                // Null dead references in every method on the call chain —
+                // the §3.4 anchor walk.
+                let inserted = assign_null_chain(
+                    program,
+                    run,
+                    entry.site,
+                    &mut nulled_methods,
+                    &mut shifted_methods,
+                );
+                if inserted > 0 {
+                    outcome.applied.push(AppliedTransform {
+                        site: entry.site,
+                        kind: TransformKind::AssignNull,
+                        detail: format!("inserted {inserted} null store(s) on the call chain"),
+                    });
+                } else {
+                    outcome
+                        .refused
+                        .push((entry.site, "no dead reference locals found".into()));
+                }
+            }
+            TransformKind::NoTransformation => {
+                outcome.refused.push((
+                    entry.site,
+                    format!("pattern `{}` suggests no rewrite", entry.stats.pattern),
+                ));
+            }
+        }
+    }
+    let _ = LifetimePattern::Mixed; // referenced for doc-link stability
+    outcome
+}
+
+/// Runs profile → optimize → re-profile cycles, as §3.2 describes
+/// ("sometimes, the results revealed more opportunities for drag
+/// reduction; in that case, another cycle of code rewriting and applying
+/// the tool took place"). Re-profiling also refreshes site pcs after
+/// pc-shifting rewrites. Stops early when a round applies nothing.
+///
+/// # Errors
+///
+/// Propagates VM errors from profiling runs.
+pub fn optimize_iteratively(
+    program: &mut Program,
+    input: &[i64],
+    config: heapdrag_vm::interp::VmConfig,
+    options: OptimizerOptions,
+    max_rounds: usize,
+) -> Result<OptimizationOutcome, heapdrag_vm::error::VmError> {
+    use heapdrag_core::analyzer::DragAnalyzer;
+    let mut combined = OptimizationOutcome::default();
+    for _ in 0..max_rounds {
+        let run = heapdrag_core::profiler::profile(program, input, config.clone())?;
+        let report = DragAnalyzer::new().analyze(&run.records, |ch| run.sites.innermost(ch));
+        let outcome = optimize(program, &run, &report, options);
+        program.link().expect("transforms keep the program well-formed");
+        let progressed = !outcome.applied.is_empty();
+        combined.applied.extend(outcome.applied);
+        combined.refused.extend(outcome.refused);
+        if !progressed {
+            break;
+        }
+    }
+    Ok(combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heapdrag_core::{profile, DragAnalyzer, Integrals, VmConfig};
+    use heapdrag_vm::builder::ProgramBuilder;
+    use heapdrag_vm::class::Visibility;
+    use heapdrag_vm::interp::Vm;
+
+    /// One program exhibiting all three patterns at different sites.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let c = b.begin_class("Obj").field("f", Visibility::Private).finish();
+        let filler = b.declare_method("filler", None, true, 0, 1);
+        {
+            let mut m = b.begin_body(filler);
+            m.push_int(0).store(0);
+            m.label("loop");
+            m.load(0).push_int(300).cmpge().branch("done");
+            m.push_int(32).new_array().pop();
+            m.load(0).push_int(1).add().store(0);
+            m.jump("loop");
+            m.label("done").ret();
+            m.finish();
+        }
+        let main = b.declare_method("main", None, true, 1, 3);
+        {
+            let mut m = b.begin_body(main);
+            // Site A: never-used objects (dead-code removal).
+            m.push_int(0).store(2);
+            m.label("never_loop");
+            m.load(2).push_int(40).cmpge().branch("never_done");
+            m.mark("site A: never used").new_obj(c).store(1);
+            m.push_null().store(1);
+            m.load(2).push_int(1).add().store(2);
+            m.jump("never_loop");
+            m.label("never_done");
+            // Site B: big array genuinely *read* across some allocation
+            // (so its in-use span is visible on the byte clock), then
+            // dragged. The read matters: a write-only buffer would be
+            // plain dead code to the indirect-usage analysis.
+            m.push_int(3000).mark("site B: dragged buffer").new_array().store(1);
+            m.load(1).push_int(0).push_int(3).astore();
+            m.push_int(64).new_array().pop(); // clock advances between uses
+            m.load(1).push_int(0).aload().pop(); // last use: a *read*
+            m.call(filler);
+            m.push_int(17).print();
+            m.ret();
+            m.finish();
+        }
+        b.set_entry(main);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn optimizer_applies_pattern_appropriate_transforms() {
+        let original = mixed_program();
+        let run = profile(&original, &[], VmConfig::profiling()).unwrap();
+        let report = DragAnalyzer::new().analyze(&run.records, |ch| run.sites.innermost(ch));
+        let mut revised = original.clone();
+        let outcome = optimize(&mut revised, &run, &report, OptimizerOptions::default());
+        revised.link().unwrap();
+
+        let kinds: Vec<TransformKind> = outcome.applied.iter().map(|a| a.kind).collect();
+        assert!(
+            kinds.contains(&TransformKind::AssignNull),
+            "dragged buffer wants assign-null; applied: {:?}, refused: {:?}",
+            outcome.applied,
+            outcome.refused
+        );
+        assert!(
+            kinds.contains(&TransformKind::DeadCodeRemoval),
+            "never-used site wants removal; applied: {:?}, refused: {:?}",
+            outcome.applied,
+            outcome.refused
+        );
+
+        // Behaviour preserved, space saved.
+        let o1 = Vm::new(&original, VmConfig::default()).run(&[]).unwrap();
+        let o2 = Vm::new(&revised, VmConfig::default()).run(&[]).unwrap();
+        assert_eq!(o1.output, o2.output);
+        let r2 = profile(&revised, &[], VmConfig::profiling()).unwrap();
+        let i1 = Integrals::from_records(&run.records);
+        let i2 = Integrals::from_records(&r2.records);
+        assert!(i2.reachable < i1.reachable);
+    }
+
+    #[test]
+    fn optimizer_respects_min_share() {
+        let original = mixed_program();
+        let run = profile(&original, &[], VmConfig::profiling()).unwrap();
+        let report = DragAnalyzer::new().analyze(&run.records, |ch| run.sites.innermost(ch));
+        let mut revised = original.clone();
+        let outcome = optimize(
+            &mut revised,
+            &run,
+            &report,
+            OptimizerOptions {
+                min_drag_share: 1.1, // impossible share → nothing visited
+                max_sites: 10,
+            },
+        );
+        assert!(outcome.applied.is_empty());
+    }
+}

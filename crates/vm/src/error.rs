@@ -1,0 +1,112 @@
+//! Error types for program construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ClassId, MethodId};
+
+/// An error raised while linking a program or executing bytecode.
+///
+/// Runtime exceptions that a program *catches* never surface as a `VmError`;
+/// only uncaught exceptions and genuine VM-level faults (malformed bytecode,
+/// resource exhaustion) do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// An exception propagated out of the entry method.
+    UncaughtException {
+        /// Class of the thrown exception.
+        class: ClassId,
+        /// Human-readable class name, resolved at throw time.
+        class_name: String,
+    },
+    /// A value of the wrong kind was found on the stack or in a local.
+    TypeMismatch {
+        /// What the instruction required.
+        expected: &'static str,
+        /// What was actually found.
+        found: &'static str,
+    },
+    /// The operand stack was empty when an instruction needed a value.
+    StackUnderflow {
+        /// Method in which the underflow occurred.
+        method: MethodId,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// A stale or never-valid handle was dereferenced.
+    ///
+    /// This indicates a VM bug (the GC freed a reachable object) and is
+    /// checked aggressively in tests.
+    InvalidHandle,
+    /// Call depth exceeded the configured frame limit.
+    StackOverflow {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The instruction budget configured in [`VmConfig`](crate::interp::VmConfig)
+    /// was exhausted.
+    StepBudgetExhausted,
+    /// Malformed bytecode: bad jump target, bad local index, and so on.
+    InvalidBytecode {
+        /// Method containing the fault.
+        method: MethodId,
+        /// Program counter of the fault.
+        pc: u32,
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// A `monitorexit` without a matching `monitorenter`.
+    UnbalancedMonitor,
+    /// Program-level linking failed (duplicate names, unresolved references).
+    LinkError(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UncaughtException { class_name, .. } => {
+                write!(f, "uncaught exception: {class_name}")
+            }
+            VmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            VmError::StackUnderflow { method, pc } => {
+                write!(f, "operand stack underflow in {method} at pc {pc}")
+            }
+            VmError::InvalidHandle => write!(f, "dangling object handle dereferenced"),
+            VmError::StackOverflow { limit } => {
+                write!(f, "call stack exceeded {limit} frames")
+            }
+            VmError::StepBudgetExhausted => write!(f, "instruction budget exhausted"),
+            VmError::InvalidBytecode { method, pc, reason } => {
+                write!(f, "invalid bytecode in {method} at pc {pc}: {reason}")
+            }
+            VmError::UnbalancedMonitor => write!(f, "monitorexit without matching monitorenter"),
+            VmError::LinkError(msg) => write!(f, "link error: {msg}"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VmError::TypeMismatch {
+            expected: "int",
+            found: "null",
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected int, found null");
+        let e = VmError::LinkError("duplicate class Foo".into());
+        assert!(e.to_string().contains("duplicate class Foo"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+    }
+}

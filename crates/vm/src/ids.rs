@@ -1,0 +1,114 @@
+//! Small integer identifier newtypes used throughout the VM.
+//!
+//! Every entity that the interpreter, the garbage collector, or an attached
+//! [`HeapObserver`](crate::observer::HeapObserver) refers to is named by a
+//! compact id. Ids are indices into tables owned by
+//! [`Program`](crate::program::Program) or [`Vm`](crate::interp::Vm); they are
+//! cheap to copy and hash, and stable for the lifetime of the owning table.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index value.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "#{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a class in [`Program::classes`](crate::program::Program).
+    ClassId(u32)
+}
+
+id_type! {
+    /// Identifies a method in [`Program::methods`](crate::program::Program).
+    MethodId(u32)
+}
+
+id_type! {
+    /// Identifies a static variable slot in a [`Program`](crate::program::Program).
+    StaticId(u32)
+}
+
+id_type! {
+    /// Identifies a virtual-dispatch slot (a "selector") shared by all classes.
+    VSlot(u32)
+}
+
+id_type! {
+    /// Identifies a single code location `(method, pc)` interned in a
+    /// [`SiteTable`](crate::site::SiteTable).
+    SiteId(u32)
+}
+
+id_type! {
+    /// Identifies an interned *nested* site: a call chain of [`SiteId`]s,
+    /// innermost first.
+    ChainId(u32)
+}
+
+/// Uniquely identifies a heap object for the whole run.
+///
+/// Unlike a [`Handle`](crate::heap::Handle), an `ObjectId` is never reused,
+/// so observers can safely key profiling state by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Returns the raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let c = ClassId::from(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "ClassId#7");
+        assert_eq!(ClassId(7), c);
+    }
+
+    #[test]
+    fn object_id_is_ordered() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(9).raw(), 9);
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        use std::collections::HashSet;
+        let set: HashSet<MethodId> = (0..100).map(MethodId).collect();
+        assert_eq!(set.len(), 100);
+    }
+}

@@ -1,0 +1,974 @@
+//! The bytecode interpreter, GC policy, and deep-GC orchestration.
+
+use std::collections::HashMap;
+
+use crate::error::VmError;
+use crate::gc::{collect_full, collect_minor};
+use crate::heap::{Handle, Heap, HeapStats};
+use crate::ids::{ClassId, MethodId, SiteId};
+use crate::insn::Insn;
+use crate::observer::{
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, UseEvent, UseKind,
+};
+use crate::program::Program;
+use crate::site::SiteTable;
+use crate::value::Value;
+
+/// Tuning knobs for a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Trigger a *deep GC* (collect, run finalizers, collect, sample) every
+    /// this many allocated bytes — the paper uses 100 KB. `None` disables
+    /// periodic deep GCs (plain execution).
+    pub deep_gc_interval: Option<u64>,
+    /// Hard heap limit; exceeding it after a forced collection throws
+    /// `OutOfMemoryError` into the program.
+    pub heap_limit: Option<u64>,
+    /// Run a full collection whenever live bytes exceed this soft threshold
+    /// (models a fixed heap size, which determines GC frequency).
+    pub gc_trigger: Option<u64>,
+    /// Depth of nested allocation/use site chains (the paper's configurable
+    /// "level of nesting").
+    pub site_depth: usize,
+    /// Enable the generational collector (nursery + tenured).
+    pub generational: bool,
+    /// Bytes of allocation between minor collections in generational mode.
+    pub nursery_bytes: u64,
+    /// Maximum interpreter call depth.
+    pub max_frames: usize,
+    /// Optional hard cap on executed instructions.
+    pub max_steps: Option<u64>,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            deep_gc_interval: None,
+            heap_limit: None,
+            gc_trigger: None,
+            site_depth: 4,
+            generational: false,
+            nursery_bytes: 64 * 1024,
+            max_frames: 1024,
+            max_steps: Some(2_000_000_000),
+        }
+    }
+}
+
+impl VmConfig {
+    /// The configuration the paper's tool uses: deep GC every 100 KB,
+    /// nesting depth 4.
+    pub fn profiling() -> Self {
+        VmConfig {
+            deep_gc_interval: Some(100 * 1024),
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Values printed by the program, in order.
+    pub output: Vec<i64>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Final allocation-clock value (total bytes allocated).
+    pub end_time: u64,
+    /// Deep-GC cycles performed.
+    pub deep_gcs: u64,
+    /// Heap counters (allocations, frees, GC work).
+    pub heap: HeapStats,
+}
+
+impl RunOutcome {
+    /// A deterministic, platform-independent cost model for runtime
+    /// comparisons: one unit per instruction, plus allocation and GC work.
+    ///
+    /// Allocation cost models both the allocation itself and object
+    /// initialisation (the paper attributes part of its Table 4 speedups to
+    /// "allocation and initialization \[being\] avoided").
+    pub fn cost_units(&self) -> u64 {
+        self.steps + self.heap.allocated_bytes / 8 + 4 * self.heap.traced_objects
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Normal,
+    Entry,
+    Finalizer,
+}
+
+#[derive(Debug)]
+struct Frame {
+    method: MethodId,
+    pc: u32,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    /// Caller context: interned sites of the call chain, innermost first,
+    /// already truncated to `site_depth - 1`.
+    context: Vec<SiteId>,
+    kind: FrameKind,
+}
+
+struct Thrown {
+    class: ClassId,
+    value: Option<Handle>,
+}
+
+enum StepResult {
+    Continue,
+    ProgramExit,
+}
+
+/// The virtual machine: interprets a linked [`Program`] against a fresh heap.
+///
+/// A `Vm` can run the same program several times; the site table persists
+/// across runs (so site ids are stable), while heap, statics, and output are
+/// reset.
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    sites: SiteTable,
+    heap: Heap,
+    statics: Vec<Value>,
+    frames: Vec<Frame>,
+    output: Vec<i64>,
+    monitors: HashMap<Handle, u32>,
+    steps: u64,
+    next_deep_gc: u64,
+    next_minor_gc: u64,
+    deep_gcs: u64,
+    in_deep_gc: bool,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` with the given configuration.
+    pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        Vm {
+            program,
+            config,
+            sites: SiteTable::new(),
+            heap: Heap::new(),
+            statics: Vec::new(),
+            frames: Vec::new(),
+            output: Vec::new(),
+            monitors: HashMap::new(),
+            steps: 0,
+            next_deep_gc: u64::MAX,
+            next_minor_gc: u64::MAX,
+            deep_gcs: 0,
+            in_deep_gc: false,
+        }
+    }
+
+    /// The site table accumulated so far.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// Consumes the VM, yielding the site table for off-line analysis.
+    pub fn into_sites(self) -> SiteTable {
+        self.sites
+    }
+
+    /// Runs the program without an observer.
+    ///
+    /// # Errors
+    ///
+    /// See [`Vm::run_observed`].
+    pub fn run(&mut self, input: &[i64]) -> Result<RunOutcome, VmError> {
+        let mut observer = NullObserver;
+        self.run_observed(input, &mut observer)
+    }
+
+    /// Runs the program, reporting heap events to `observer`.
+    ///
+    /// The entry method receives the input as an int array in local 0; the
+    /// array is pinned (invisible to the observer, like command-line
+    /// arguments materialised by the runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UncaughtException`] if an exception escapes the
+    /// entry method, or another [`VmError`] for VM-level faults.
+    pub fn run_observed(
+        &mut self,
+        input: &[i64],
+        observer: &mut dyn HeapObserver,
+    ) -> Result<RunOutcome, VmError> {
+        self.reset();
+        let input_array = self
+            .heap
+            .alloc(self.program.builtins.array, input.len(), true, true);
+        {
+            let obj = self.heap.get_mut(input_array).expect("fresh allocation");
+            for (slot, v) in obj.data.iter_mut().zip(input) {
+                *slot = Value::Int(*v);
+            }
+        }
+        let entry = self.program.entry;
+        let mut locals = vec![Value::Null; self.program.methods[entry.index()].num_locals as usize];
+        if !locals.is_empty() {
+            locals[0] = Value::Ref(input_array);
+        }
+        self.frames.push(Frame {
+            method: entry,
+            pc: 0,
+            locals,
+            stack: Vec::new(),
+            context: Vec::new(),
+            kind: FrameKind::Entry,
+        });
+
+        while let StepResult::Continue = self.step(observer)? {}
+
+        // Final deep GC, then report survivors as-if collected at exit.
+        if self.config.deep_gc_interval.is_some() {
+            self.deep_gc(observer)?;
+        }
+        let end = self.heap.clock();
+        let survivors: Vec<_> = self
+            .heap
+            .iter()
+            .filter(|(_, o)| !o.pinned)
+            .map(|(_, o)| o.id)
+            .collect();
+        for id in survivors {
+            observer.on_free(FreeEvent {
+                object: id,
+                time: end,
+                at_exit: true,
+            });
+        }
+        observer.on_exit(end);
+
+        Ok(RunOutcome {
+            output: std::mem::take(&mut self.output),
+            steps: self.steps,
+            end_time: end,
+            deep_gcs: self.deep_gcs,
+            heap: self.heap.stats(),
+        })
+    }
+
+    fn reset(&mut self) {
+        self.heap = match self.config.heap_limit {
+            Some(limit) => Heap::with_limit(limit),
+            None => Heap::new(),
+        };
+        self.statics = self.program.statics.iter().map(|s| s.init).collect();
+        self.frames.clear();
+        self.output.clear();
+        self.monitors.clear();
+        self.steps = 0;
+        self.deep_gcs = 0;
+        self.in_deep_gc = false;
+        self.next_deep_gc = self.config.deep_gc_interval.unwrap_or(u64::MAX);
+        self.next_minor_gc = if self.config.generational {
+            self.config.nursery_bytes
+        } else {
+            u64::MAX
+        };
+    }
+
+    // --- event helpers ----------------------------------------------------
+
+    fn event_chain(&mut self, insn_pc: u32) -> crate::ids::ChainId {
+        let frame = self.frames.last().expect("active frame");
+        let site = self.sites.intern_site(frame.method, insn_pc);
+        let mut chain = Vec::with_capacity(1 + frame.context.len());
+        chain.push(site);
+        chain.extend_from_slice(&frame.context);
+        chain.truncate(self.config.site_depth.max(1));
+        self.sites.intern_chain(&chain)
+    }
+
+    fn record_use(
+        &mut self,
+        observer: &mut dyn HeapObserver,
+        handle: Handle,
+        kind: UseKind,
+        insn_pc: u32,
+    ) {
+        let Some(obj) = self.heap.get(handle) else {
+            return;
+        };
+        if obj.pinned {
+            return;
+        }
+        let object = obj.id;
+        let site = self.event_chain(insn_pc);
+        observer.on_use(UseEvent {
+            object,
+            kind,
+            time: self.heap.clock(),
+            site,
+        });
+    }
+
+    // --- roots & collections ------------------------------------------------
+
+    fn roots(&self) -> Vec<Handle> {
+        let mut roots = Vec::new();
+        for frame in &self.frames {
+            for v in frame.locals.iter().chain(frame.stack.iter()) {
+                if let Value::Ref(h) = v {
+                    roots.push(*h);
+                }
+            }
+        }
+        for v in &self.statics {
+            if let Value::Ref(h) = v {
+                roots.push(*h);
+            }
+        }
+        roots.extend(self.monitors.keys().copied());
+        roots
+    }
+
+    fn full_gc(&mut self, observer: &mut dyn HeapObserver) -> crate::gc::CollectOutcome {
+        let roots = self.roots();
+        let time = self.heap.clock();
+        let outcome = collect_full(&mut self.heap, self.program, &roots, &mut |o| {
+            observer.on_free(FreeEvent {
+                object: o.id,
+                time,
+                at_exit: false,
+            });
+        });
+        self.monitors.retain(|h, _| self.heap.get(*h).is_some());
+        outcome
+    }
+
+    fn minor_gc(&mut self, observer: &mut dyn HeapObserver) {
+        let roots = self.roots();
+        let time = self.heap.clock();
+        collect_minor(&mut self.heap, self.program, &roots, &mut |o| {
+            observer.on_free(FreeEvent {
+                object: o.id,
+                time,
+                at_exit: false,
+            });
+        });
+        self.monitors.retain(|h, _| self.heap.get(*h).is_some());
+    }
+
+    /// Deep GC: collect, run pending finalizers, collect again, sample.
+    fn deep_gc(&mut self, observer: &mut dyn HeapObserver) -> Result<(), VmError> {
+        if self.in_deep_gc {
+            return Ok(());
+        }
+        self.in_deep_gc = true;
+        let first = self.full_gc(observer);
+        for handle in first.pending_finalizers {
+            let Some(obj) = self.heap.get_mut(handle) else {
+                continue;
+            };
+            obj.finalize_pending = false;
+            obj.finalized = true;
+            let class = obj.class;
+            if let Some(fin) = self.program.classes[class.index()].finalizer {
+                self.run_nested(fin, vec![Value::Ref(handle)], observer)?;
+            }
+        }
+        let second = self.full_gc(observer);
+        self.deep_gcs += 1;
+        observer.on_deep_gc(GcEvent {
+            time: self.heap.clock(),
+            reachable_bytes: second.reachable_bytes,
+            reachable_count: second.reachable_count,
+        });
+        self.in_deep_gc = false;
+        Ok(())
+    }
+
+    /// GC policy checks after an allocation (the freshly allocated object is
+    /// already rooted on the operand stack by then).
+    fn post_alloc_gc(&mut self, observer: &mut dyn HeapObserver) -> Result<(), VmError> {
+        if self.heap.clock() >= self.next_deep_gc {
+            let interval = self.config.deep_gc_interval.expect("interval set");
+            while self.next_deep_gc <= self.heap.clock() {
+                self.next_deep_gc += interval;
+            }
+            self.deep_gc(observer)?;
+        }
+        if self.config.generational && self.heap.clock() >= self.next_minor_gc {
+            while self.next_minor_gc <= self.heap.clock() {
+                self.next_minor_gc += self.config.nursery_bytes;
+            }
+            self.minor_gc(observer);
+        }
+        if let Some(trigger) = self.config.gc_trigger {
+            if self.heap.live_bytes() > trigger && !self.in_deep_gc {
+                self.full_gc(observer);
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocates, forcing a collection (and then failing over to an
+    /// `OutOfMemoryError` thrown into the program) if the limit would be
+    /// exceeded.
+    fn allocate(
+        &mut self,
+        class: ClassId,
+        slots: usize,
+        is_array: bool,
+        insn_pc: u32,
+        observer: &mut dyn HeapObserver,
+    ) -> Result<Result<Handle, Thrown>, VmError> {
+        if self.heap.would_exceed_limit(slots) {
+            self.full_gc(observer);
+            if self.heap.would_exceed_limit(slots) {
+                return Ok(Err(Thrown {
+                    class: self.program.builtins.out_of_memory,
+                    value: None,
+                }));
+            }
+        }
+        let pinned = self.program.classes[class.index()].pinned;
+        let handle = self.heap.alloc(class, slots, is_array, pinned);
+        if !pinned {
+            let object = self.heap.get(handle).expect("fresh allocation").id;
+            let site = self.event_chain(insn_pc);
+            observer.on_alloc(AllocEvent {
+                object,
+                class,
+                size: self.heap.get(handle).expect("fresh allocation").size_bytes,
+                time: self.heap.clock(),
+                site,
+            });
+        }
+        Ok(Ok(handle))
+    }
+
+    // --- frames ---------------------------------------------------------------
+
+    fn push_frame(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        kind: FrameKind,
+        caller_insn_pc: u32,
+    ) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_frames {
+            return Err(VmError::StackOverflow {
+                limit: self.config.max_frames,
+            });
+        }
+        let m = &self.program.methods[method.index()];
+        debug_assert_eq!(args.len(), m.num_params as usize);
+        let mut locals = args;
+        locals.resize(m.num_locals as usize, Value::Null);
+        let context = match (kind, self.frames.last()) {
+            (FrameKind::Normal, Some(caller)) => {
+                let site = self.sites.intern_site(caller.method, caller_insn_pc);
+                let mut ctx = Vec::with_capacity(1 + caller.context.len());
+                ctx.push(site);
+                ctx.extend_from_slice(&caller.context);
+                ctx.truncate(self.config.site_depth.saturating_sub(1));
+                ctx
+            }
+            _ => Vec::new(),
+        };
+        self.frames.push(Frame {
+            method,
+            pc: 0,
+            locals,
+            stack: Vec::new(),
+            context,
+            kind,
+        });
+        Ok(())
+    }
+
+    /// Runs `method` to completion on top of the current stack (used for
+    /// finalizers). Exceptions escaping the method are swallowed, as the
+    /// JVM does for finalizers.
+    fn run_nested(
+        &mut self,
+        method: MethodId,
+        args: Vec<Value>,
+        observer: &mut dyn HeapObserver,
+    ) -> Result<(), VmError> {
+        let base = self.frames.len();
+        self.push_frame(method, args, FrameKind::Finalizer, 0)?;
+        while self.frames.len() > base {
+            match self.step(observer)? {
+                StepResult::Continue => {}
+                StepResult::ProgramExit => break,
+            }
+        }
+        Ok(())
+    }
+
+    // --- exception handling ------------------------------------------------------
+
+    fn throw(&mut self, thrown: Thrown, insn_pc: u32) -> Result<(), VmError> {
+        let mut pc = insn_pc;
+        loop {
+            let frame = match self.frames.last_mut() {
+                Some(f) => f,
+                None => {
+                    return Err(VmError::UncaughtException {
+                        class: thrown.class,
+                        class_name: self.program.classes[thrown.class.index()].name.clone(),
+                    })
+                }
+            };
+            let method = &self.program.methods[frame.method.index()];
+            let handler = method.handlers.iter().find(|h| {
+                pc >= h.start_pc
+                    && pc < h.end_pc
+                    && h.catch
+                        .is_none_or(|c| self.program.is_subclass(thrown.class, c))
+            });
+            if let Some(h) = handler {
+                frame.stack.clear();
+                frame.stack.push(match thrown.value {
+                    Some(obj) => Value::Ref(obj),
+                    None => Value::Null,
+                });
+                frame.pc = h.handler_pc;
+                return Ok(());
+            }
+            let kind = frame.kind;
+            match kind {
+                FrameKind::Normal => {
+                    // Continue unwinding at the caller's faulting pc.
+                    self.frames.pop();
+                    if let Some(caller) = self.frames.last() {
+                        pc = caller.pc.saturating_sub(1);
+                    }
+                }
+                FrameKind::Entry => {
+                    self.frames.pop();
+                    return Err(VmError::UncaughtException {
+                        class: thrown.class,
+                        class_name: self.program.classes[thrown.class.index()].name.clone(),
+                    });
+                }
+                FrameKind::Finalizer => {
+                    // The JVM ignores exceptions thrown by finalizers.
+                    self.frames.pop();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    // --- stack helpers ----------------------------------------------------------------
+
+    fn pop(&mut self) -> Result<Value, VmError> {
+        let frame = self.frames.last_mut().expect("active frame");
+        frame.stack.pop().ok_or(VmError::StackUnderflow {
+            method: frame.method,
+            pc: frame.pc.saturating_sub(1),
+        })
+    }
+
+    fn push(&mut self, v: Value) {
+        self.frames.last_mut().expect("active frame").stack.push(v);
+    }
+
+    fn pop_int(&mut self) -> Result<i64, VmError> {
+        self.pop()?.as_int()
+    }
+
+    // --- the interpreter proper ----------------------------------------------------------
+
+    fn step(&mut self, observer: &mut dyn HeapObserver) -> Result<StepResult, VmError> {
+        if let Some(max) = self.config.max_steps {
+            if self.steps >= max {
+                return Err(VmError::StepBudgetExhausted);
+            }
+        }
+        self.steps += 1;
+
+        let (method_id, insn_pc) = {
+            let frame = self.frames.last().expect("active frame");
+            (frame.method, frame.pc)
+        };
+        let method = &self.program.methods[method_id.index()];
+        let insn = match method.code.get(insn_pc as usize) {
+            Some(i) => *i,
+            None => {
+                return Err(VmError::InvalidBytecode {
+                    method: method_id,
+                    pc: insn_pc,
+                    reason: "fell off the end of the method".into(),
+                })
+            }
+        };
+        self.frames.last_mut().expect("active frame").pc = insn_pc + 1;
+
+        macro_rules! throw_builtin {
+            ($class:expr) => {{
+                let class = $class;
+                self.throw(Thrown { class, value: None }, insn_pc)?;
+                return Ok(StepResult::Continue);
+            }};
+        }
+
+        match insn {
+            Insn::PushInt(i) => self.push(Value::Int(i)),
+            Insn::PushNull => self.push(Value::Null),
+            Insn::Dup => {
+                let v = self.pop()?;
+                self.push(v);
+                self.push(v);
+            }
+            Insn::Pop => {
+                self.pop()?;
+            }
+            Insn::Swap => {
+                let a = self.pop()?;
+                let b = self.pop()?;
+                self.push(a);
+                self.push(b);
+            }
+            Insn::Load(n) => {
+                let v = self.frames.last().expect("active frame").locals[n as usize];
+                self.push(v);
+            }
+            Insn::Store(n) => {
+                let v = self.pop()?;
+                self.frames.last_mut().expect("active frame").locals[n as usize] = v;
+            }
+            Insn::Add | Insn::Sub | Insn::Mul => {
+                let b = self.pop_int()?;
+                let a = self.pop_int()?;
+                let r = match insn {
+                    Insn::Add => a.wrapping_add(b),
+                    Insn::Sub => a.wrapping_sub(b),
+                    _ => a.wrapping_mul(b),
+                };
+                self.push(Value::Int(r));
+            }
+            Insn::Div | Insn::Rem => {
+                let b = self.pop_int()?;
+                let a = self.pop_int()?;
+                if b == 0 {
+                    throw_builtin!(self.program.builtins.arithmetic);
+                }
+                let r = if matches!(insn, Insn::Div) {
+                    a.wrapping_div(b)
+                } else {
+                    a.wrapping_rem(b)
+                };
+                self.push(Value::Int(r));
+            }
+            Insn::Neg => {
+                let a = self.pop_int()?;
+                self.push(Value::Int(a.wrapping_neg()));
+            }
+            Insn::CmpEq | Insn::CmpNe => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                let eq = match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => x == y,
+                    (Value::Ref(x), Value::Ref(y)) => x == y,
+                    (Value::Null, Value::Null) => true,
+                    (Value::Ref(_), Value::Null) | (Value::Null, Value::Ref(_)) => false,
+                    _ => {
+                        return Err(VmError::TypeMismatch {
+                            expected: "comparable pair",
+                            found: "mixed int/reference",
+                        })
+                    }
+                };
+                let want = matches!(insn, Insn::CmpEq);
+                self.push(Value::Int((eq == want) as i64));
+            }
+            Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe => {
+                let b = self.pop_int()?;
+                let a = self.pop_int()?;
+                let r = match insn {
+                    Insn::CmpLt => a < b,
+                    Insn::CmpLe => a <= b,
+                    Insn::CmpGt => a > b,
+                    _ => a >= b,
+                };
+                self.push(Value::Int(r as i64));
+            }
+            Insn::Jump(t) => self.frames.last_mut().expect("active frame").pc = t,
+            Insn::Branch(t) => {
+                if self.pop_int()? != 0 {
+                    self.frames.last_mut().expect("active frame").pc = t;
+                }
+            }
+            Insn::BranchIfNull(t) => {
+                if self.pop()?.as_ref_nullable()?.is_none() {
+                    self.frames.last_mut().expect("active frame").pc = t;
+                }
+            }
+            Insn::BranchIfNotNull(t) => {
+                if self.pop()?.as_ref_nullable()?.is_some() {
+                    self.frames.last_mut().expect("active frame").pc = t;
+                }
+            }
+            Insn::New(class) => {
+                let slots = self.program.classes[class.index()].num_slots() as usize;
+                match self.allocate(class, slots, false, insn_pc, observer)? {
+                    Ok(h) => {
+                        self.push(Value::Ref(h));
+                        self.post_alloc_gc(observer)?;
+                    }
+                    Err(t) => {
+                        self.throw(t, insn_pc)?;
+                    }
+                }
+            }
+            Insn::NewArray => {
+                let len = self.pop_int()?;
+                if len < 0 {
+                    throw_builtin!(self.program.builtins.index_oob);
+                }
+                match self.allocate(
+                    self.program.builtins.array,
+                    len as usize,
+                    true,
+                    insn_pc,
+                    observer,
+                )? {
+                    Ok(h) => {
+                        self.push(Value::Ref(h));
+                        self.post_alloc_gc(observer)?;
+                    }
+                    Err(t) => {
+                        self.throw(t, insn_pc)?;
+                    }
+                }
+            }
+            Insn::GetField(slot) => {
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::GetField, insn_pc);
+                let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                let v = *obj.data.get(slot as usize).ok_or(VmError::InvalidBytecode {
+                    method: method_id,
+                    pc: insn_pc,
+                    reason: format!("field slot {slot} out of range"),
+                })?;
+                self.push(v);
+            }
+            Insn::PutField(slot) => {
+                let v = self.pop()?;
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::PutField, insn_pc);
+                self.write_barrier(h, v);
+                let obj = self.heap.get_mut(h).ok_or(VmError::InvalidHandle)?;
+                let cell = obj.data.get_mut(slot as usize).ok_or(VmError::InvalidBytecode {
+                    method: method_id,
+                    pc: insn_pc,
+                    reason: format!("field slot {slot} out of range"),
+                })?;
+                *cell = v;
+            }
+            Insn::ALoad => {
+                let idx = self.pop_int()?;
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::HandleDeref, insn_pc);
+                let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                if idx < 0 || idx as usize >= obj.data.len() {
+                    throw_builtin!(self.program.builtins.index_oob);
+                }
+                let v = obj.data[idx as usize];
+                self.push(v);
+            }
+            Insn::AStore => {
+                let v = self.pop()?;
+                let idx = self.pop_int()?;
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::HandleDeref, insn_pc);
+                self.write_barrier(h, v);
+                let obj = self.heap.get_mut(h).ok_or(VmError::InvalidHandle)?;
+                if idx < 0 || idx as usize >= obj.data.len() {
+                    throw_builtin!(self.program.builtins.index_oob);
+                }
+                obj.data[idx as usize] = v;
+            }
+            Insn::ArrayLen => {
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::HandleDeref, insn_pc);
+                let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                self.push(Value::Int(obj.data.len() as i64));
+            }
+            Insn::InstanceOf(class) => {
+                let v = self.pop()?;
+                let r = match v.as_ref_nullable()? {
+                    Some(h) => {
+                        let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                        self.program.is_subclass(obj.class, class)
+                    }
+                    None => false,
+                };
+                self.push(Value::Int(r as i64));
+            }
+            Insn::GetStatic(s) => {
+                let v = self.statics[s.index()];
+                self.push(v);
+            }
+            Insn::PutStatic(s) => {
+                let v = self.pop()?;
+                self.statics[s.index()] = v;
+            }
+            Insn::Call(target) => {
+                let callee = &self.program.methods[target.index()];
+                let nparams = callee.num_params as usize;
+                let is_instance = !callee.is_static;
+                let frame = self.frames.last_mut().expect("active frame");
+                if frame.stack.len() < nparams {
+                    return Err(VmError::StackUnderflow {
+                        method: method_id,
+                        pc: insn_pc,
+                    });
+                }
+                let args: Vec<Value> = frame.stack.split_off(frame.stack.len() - nparams);
+                if is_instance {
+                    match args[0].as_ref_nullable()? {
+                        Some(recv) => self.record_use(observer, recv, UseKind::Invoke, insn_pc),
+                        None => throw_builtin!(self.program.builtins.null_pointer),
+                    }
+                }
+                self.push_frame(target, args, FrameKind::Normal, insn_pc)?;
+            }
+            Insn::CallVirtual { vslot, argc } => {
+                let total = argc as usize + 1;
+                let frame = self.frames.last_mut().expect("active frame");
+                if frame.stack.len() < total {
+                    return Err(VmError::StackUnderflow {
+                        method: method_id,
+                        pc: insn_pc,
+                    });
+                }
+                let args: Vec<Value> = frame.stack.split_off(frame.stack.len() - total);
+                let Some(recv) = args[0].as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, recv, UseKind::Invoke, insn_pc);
+                let class = self.heap.get(recv).ok_or(VmError::InvalidHandle)?.class;
+                let target = self.program.dispatch(class, vslot).ok_or_else(|| {
+                    VmError::InvalidBytecode {
+                        method: method_id,
+                        pc: insn_pc,
+                        reason: format!(
+                            "class {} does not respond to `{}`",
+                            self.program.classes[class.index()].name,
+                            self.program.selectors[vslot.index()]
+                        ),
+                    }
+                })?;
+                let callee = &self.program.methods[target.index()];
+                if callee.num_params as usize != total {
+                    return Err(VmError::InvalidBytecode {
+                        method: method_id,
+                        pc: insn_pc,
+                        reason: format!(
+                            "virtual call arity mismatch: {} expects {} params, got {total}",
+                            self.program.method_name(target),
+                            callee.num_params
+                        ),
+                    });
+                }
+                self.push_frame(target, args, FrameKind::Normal, insn_pc)?;
+            }
+            Insn::Ret | Insn::RetVal => {
+                let value = if matches!(insn, Insn::RetVal) {
+                    Some(self.pop()?)
+                } else {
+                    None
+                };
+                let finished = self.frames.pop().expect("active frame");
+                match finished.kind {
+                    FrameKind::Normal => {
+                        if let (Some(v), Some(caller)) = (value, self.frames.last_mut()) {
+                            caller.stack.push(v);
+                        }
+                    }
+                    FrameKind::Entry => return Ok(StepResult::ProgramExit),
+                    FrameKind::Finalizer => { /* return value discarded */ }
+                }
+            }
+            Insn::MonitorEnter => {
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::MonitorEnter, insn_pc);
+                *self.monitors.entry(h).or_insert(0) += 1;
+            }
+            Insn::MonitorExit => {
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                self.record_use(observer, h, UseKind::MonitorExit, insn_pc);
+                match self.monitors.get_mut(&h) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.monitors.remove(&h);
+                        }
+                    }
+                    _ => return Err(VmError::UnbalancedMonitor),
+                }
+            }
+            Insn::Throw => {
+                let Some(h) = self.pop()?.as_ref_nullable()? else {
+                    throw_builtin!(self.program.builtins.null_pointer);
+                };
+                let class = self.heap.get(h).ok_or(VmError::InvalidHandle)?.class;
+                self.throw(
+                    Thrown {
+                        class,
+                        value: Some(h),
+                    },
+                    insn_pc,
+                )?;
+            }
+            Insn::Print => {
+                let v = self.pop_int()?;
+                self.output.push(v);
+            }
+            Insn::Nop => {}
+        }
+
+        if self.frames.is_empty() {
+            return Ok(StepResult::ProgramExit);
+        }
+        Ok(StepResult::Continue)
+    }
+
+    fn write_barrier(&mut self, target: Handle, value: Value) {
+        if !self.config.generational {
+            return;
+        }
+        if let Value::Ref(young) = value {
+            let target_old = self.heap.get(target).map(|o| o.old).unwrap_or(false);
+            let value_young = self.heap.get(young).map(|o| !o.old).unwrap_or(false);
+            if target_old && value_young {
+                self.heap.remembered.push(target);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("steps", &self.steps)
+            .field("heap", &self.heap)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}

@@ -1,0 +1,215 @@
+//! The heap-event interface through which profilers observe a run.
+//!
+//! This is the Rust analogue of the paper's JVM instrumentation: the VM
+//! reports object creation, each of the five kinds of object *use*, object
+//! reclamation, deep-GC sample points, and program exit. A profiler
+//! implements [`HeapObserver`] and is attached via
+//! [`Vm::run_observed`](crate::interp::Vm::run_observed).
+
+use crate::ids::{ChainId, ClassId, ObjectId};
+
+/// Which of the paper's five events constituted a use of the object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UseKind {
+    /// Reading a field (`getfield`).
+    GetField,
+    /// Writing a field (`putfield`).
+    PutField,
+    /// Invoking a method on the object (`invokevirtual`).
+    Invoke,
+    /// Entering its monitor (`monitorenter`).
+    MonitorEnter,
+    /// Exiting its monitor (`monitorexit`).
+    MonitorExit,
+    /// Dereferencing its handle: array element access / array length, as
+    /// native code would do through the handle table.
+    HandleDeref,
+}
+
+impl UseKind {
+    /// All use kinds, in declaration order.
+    pub const ALL: [UseKind; 6] = [
+        UseKind::GetField,
+        UseKind::PutField,
+        UseKind::Invoke,
+        UseKind::MonitorEnter,
+        UseKind::MonitorExit,
+        UseKind::HandleDeref,
+    ];
+}
+
+/// An object was allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocEvent {
+    /// Run-unique object id.
+    pub object: ObjectId,
+    /// Class of the object ([`Program::builtins`](crate::program::Program)
+    /// `.array` for arrays).
+    pub class: ClassId,
+    /// Object size in bytes: header plus fields/elements, 8-byte aligned.
+    /// Excludes the handle and the profiling trailer, per the paper.
+    pub size: u64,
+    /// Allocation-clock time (bytes allocated so far, including this one).
+    pub time: u64,
+    /// Nested allocation site.
+    pub site: ChainId,
+}
+
+/// An object was used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UseEvent {
+    /// The object used.
+    pub object: ObjectId,
+    /// What kind of use.
+    pub kind: UseKind,
+    /// Allocation-clock time of the use.
+    pub time: u64,
+    /// Nested last-use site candidate.
+    pub site: ChainId,
+}
+
+/// An object was reclaimed by GC (or survived to program exit, in which case
+/// the VM reports it with the end-of-run time after the final deep GC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreeEvent {
+    /// The object reclaimed.
+    pub object: ObjectId,
+    /// Allocation-clock time of reclamation.
+    pub time: u64,
+    /// True if the object was still reachable at program exit and is being
+    /// reported as-if collected then.
+    pub at_exit: bool,
+}
+
+/// A deep-GC cycle finished; a sample point for heap-size curves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcEvent {
+    /// Allocation-clock time of the sample.
+    pub time: u64,
+    /// Bytes of objects reachable after the cycle (excluding pinned objects).
+    pub reachable_bytes: u64,
+    /// Number of reachable objects (excluding pinned objects).
+    pub reachable_count: u64,
+}
+
+/// Receiver of heap events during a run.
+///
+/// All methods have empty default bodies so observers implement only what
+/// they need. The VM never reports events for *pinned* objects (the stand-in
+/// for `Class` objects and the special objects reachable from them, which
+/// the paper excludes).
+pub trait HeapObserver {
+    /// An object was allocated.
+    fn on_alloc(&mut self, event: AllocEvent) {
+        let _ = event;
+    }
+
+    /// An object was used.
+    fn on_use(&mut self, event: UseEvent) {
+        let _ = event;
+    }
+
+    /// An object was reclaimed.
+    fn on_free(&mut self, event: FreeEvent) {
+        let _ = event;
+    }
+
+    /// A deep-GC sample point.
+    fn on_deep_gc(&mut self, event: GcEvent) {
+        let _ = event;
+    }
+
+    /// The program exited normally; `time` is the final allocation clock.
+    /// Survivor objects have already been reported through
+    /// [`HeapObserver::on_free`] with `at_exit = true`.
+    fn on_exit(&mut self, time: u64) {
+        let _ = time;
+    }
+}
+
+/// An observer that ignores everything; the default when none is attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl HeapObserver for NullObserver {}
+
+/// An observer that counts events; handy in tests and smoke checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Number of allocation events seen.
+    pub allocs: u64,
+    /// Number of use events seen.
+    pub uses: u64,
+    /// Number of free events seen (including at-exit ones).
+    pub frees: u64,
+    /// Number of frees reported at exit.
+    pub exit_frees: u64,
+    /// Number of deep-GC samples seen.
+    pub gcs: u64,
+    /// Whether `on_exit` fired.
+    pub exited: bool,
+}
+
+impl HeapObserver for CountingObserver {
+    fn on_alloc(&mut self, _: AllocEvent) {
+        self.allocs += 1;
+    }
+    fn on_use(&mut self, _: UseEvent) {
+        self.uses += 1;
+    }
+    fn on_free(&mut self, event: FreeEvent) {
+        self.frees += 1;
+        if event.at_exit {
+            self.exit_frees += 1;
+        }
+    }
+    fn on_deep_gc(&mut self, _: GcEvent) {
+        self.gcs += 1;
+    }
+    fn on_exit(&mut self, _: u64) {
+        self.exited = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_ignores_everything() {
+        let mut o = NullObserver;
+        o.on_exit(7);
+        o.on_deep_gc(GcEvent {
+            time: 0,
+            reachable_bytes: 0,
+            reachable_count: 0,
+        });
+    }
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut o = CountingObserver::default();
+        o.on_alloc(AllocEvent {
+            object: ObjectId(1),
+            class: ClassId(0),
+            size: 16,
+            time: 16,
+            site: ChainId(0),
+        });
+        o.on_free(FreeEvent {
+            object: ObjectId(1),
+            time: 32,
+            at_exit: true,
+        });
+        o.on_exit(32);
+        assert_eq!(o.allocs, 1);
+        assert_eq!(o.frees, 1);
+        assert_eq!(o.exit_frees, 1);
+        assert!(o.exited);
+    }
+
+    #[test]
+    fn all_use_kinds_enumerated() {
+        assert_eq!(UseKind::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime values manipulated by the interpreter.
+
+use std::fmt;
+
+use crate::error::VmError;
+use crate::heap::Handle;
+
+/// A single operand-stack or local-variable slot.
+///
+/// The VM is dynamically typed with three kinds of values, mirroring the
+/// subset of the JVM the paper's instrumentation cares about: integers,
+/// object references ("handles" in Sun JVM 1.2 terminology), and `null`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A reference to a heap object.
+    Ref(Handle),
+    /// The null reference.
+    #[default]
+    Null,
+}
+
+impl Value {
+    /// Returns the integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::TypeMismatch`] if the value is not an [`Value::Int`].
+    pub fn as_int(self) -> Result<i64, VmError> {
+        match self {
+            Value::Int(i) => Ok(i),
+            other => Err(VmError::TypeMismatch {
+                expected: "int",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Returns the handle payload, treating `null` as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::TypeMismatch`] for integers. Callers that must
+    /// signal `NullPointerException` on `null` should use
+    /// [`Value::as_ref_nullable`] and handle `None` themselves.
+    pub fn as_handle(self) -> Result<Handle, VmError> {
+        match self {
+            Value::Ref(h) => Ok(h),
+            other => Err(VmError::TypeMismatch {
+                expected: "reference",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Returns `Some(handle)` for references, `None` for `null`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::TypeMismatch`] for integers.
+    pub fn as_ref_nullable(self) -> Result<Option<Handle>, VmError> {
+        match self {
+            Value::Ref(h) => Ok(Some(h)),
+            Value::Null => Ok(None),
+            other => Err(VmError::TypeMismatch {
+                expected: "reference or null",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// True if the value is a (non-null) reference.
+    pub fn is_ref(self) -> bool {
+        matches!(self, Value::Ref(_))
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short human-readable name for the value's kind.
+    pub fn kind_name(self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Ref(_) => "reference",
+            Value::Null => "null",
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<Handle> for Value {
+    fn from(h: Handle) -> Self {
+        Value::Ref(h)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Ref(h) => write!(f, "{h}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        assert_eq!(Value::Int(42).as_int().unwrap(), 42);
+        assert!(Value::Null.as_int().is_err());
+        assert_eq!(Value::from(7), Value::Int(7));
+    }
+
+    #[test]
+    fn ref_accessors() {
+        let h = Handle::from_parts(3, 1);
+        assert_eq!(Value::Ref(h).as_handle().unwrap(), h);
+        assert_eq!(Value::Ref(h).as_ref_nullable().unwrap(), Some(h));
+        assert_eq!(Value::Null.as_ref_nullable().unwrap(), None);
+        assert!(Value::Int(0).as_ref_nullable().is_err());
+    }
+
+    #[test]
+    fn kind_names_and_display() {
+        assert_eq!(Value::Null.kind_name(), "null");
+        assert_eq!(Value::Int(1).to_string(), "1");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_ref());
+    }
+}

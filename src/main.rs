@@ -1,0 +1,229 @@
+//! The `heapdrag` command-line tool: the paper's two-phase profiler plus
+//! the automated optimizer, over textual bytecode programs.
+//!
+//! ```text
+//! heapdrag run      <prog.hdasm> [input ints…]
+//! heapdrag profile  <prog.hdasm> -o <out.log> [--interval-kb N] [input ints…]
+//! heapdrag report   <log file> [--top N]
+//! heapdrag timeline <prog.hdasm> [input ints…]
+//! heapdrag optimize <prog.hdasm> -o <out.hdasm> [input ints…]
+//! ```
+
+use std::process::ExitCode;
+
+use heapdrag::core::log::{parse_log, write_log};
+use heapdrag::core::{profile, render, DragAnalyzer, Timeline, VmConfig};
+use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
+use heapdrag::vm::asm::assemble;
+use heapdrag::vm::disasm::disassemble;
+use heapdrag::vm::{Program, SiteId, Vm, VmConfig as RawConfig};
+
+const USAGE: &str = "usage:
+  heapdrag run      <prog> [input ints...]
+  heapdrag compile  <prog.hdj> -o <out.hdasm>
+  heapdrag profile  <prog> -o <out.log> [--interval-kb N] [input ints...]
+  heapdrag report   <log file> [--top N]
+  heapdrag inspect  <log file> <rank>   (lifetime histograms of the rank-th site)
+  heapdrag timeline <prog> [input ints...]
+  heapdrag optimize <prog> -o <out.hdasm> [input ints...]
+
+<prog> is either bytecode assembly (.hdasm) or mini-Java source (.hdj).";
+
+struct Args {
+    positional: Vec<String>,
+    output: Option<String>,
+    interval_kb: Option<u64>,
+    top: usize,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        output: None,
+        interval_kb: None,
+        top: 10,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                args.output = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--interval-kb" => {
+                let v = it.next().ok_or("--interval-kb needs a number")?;
+                args.interval_kb = Some(v.parse().map_err(|_| "bad --interval-kb")?);
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a number")?;
+                args.top = v.parse().map_err(|_| "bad --top")?;
+            }
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = if path.ends_with(".hdj") {
+        heapdrag::lang::compile_source(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        assemble(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    heapdrag::vm::verify::verify_program(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn input_ints(args: &[String]) -> Result<Vec<i64>, String> {
+    args.iter()
+        .map(|a| a.parse().map_err(|_| format!("bad input int `{a}`")))
+        .collect()
+}
+
+fn run_main() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = raw.first().cloned().ok_or(USAGE)?;
+    let args = parse_args(&raw[1..])?;
+    let config = {
+        let mut c = VmConfig::profiling();
+        if let Some(kb) = args.interval_kb {
+            c.deep_gc_interval = Some(kb * 1024);
+        }
+        c
+    };
+
+    match command.as_str() {
+        "run" => {
+            let prog_path = args.positional.first().ok_or(USAGE)?;
+            let program = load_program(prog_path)?;
+            let input = input_ints(&args.positional[1..])?;
+            let outcome = Vm::new(&program, RawConfig::default())
+                .run(&input)
+                .map_err(|e| e.to_string())?;
+            for v in &outcome.output {
+                println!("{v}");
+            }
+            eprintln!(
+                "[{} steps, {} bytes allocated, {} objects]",
+                outcome.steps, outcome.heap.allocated_bytes, outcome.heap.allocated_objects
+            );
+        }
+        "profile" => {
+            let prog_path = args.positional.first().ok_or(USAGE)?;
+            let out = args.output.as_deref().ok_or("profile needs -o <log>")?;
+            let program = load_program(prog_path)?;
+            let input = input_ints(&args.positional[1..])?;
+            let run = profile(&program, &input, config).map_err(|e| e.to_string())?;
+            std::fs::write(out, write_log(&run, &program)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "profiled: {} objects, {} deep GCs, end time {} bytes -> {out}",
+                run.records.len(),
+                run.outcome.deep_gcs,
+                run.outcome.end_time
+            );
+        }
+        "compile" => {
+            let prog_path = args.positional.first().ok_or(USAGE)?;
+            let out = args.output.as_deref().ok_or("compile needs -o <file>")?;
+            let program = load_program(prog_path)?;
+            std::fs::write(out, disassemble(&program)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "compiled {prog_path} -> {out} ({} classes, {} methods, {} instructions)",
+                program.classes.len(),
+                program.methods.len(),
+                program.code_size()
+            );
+        }
+        "report" => {
+            let log_path = args.positional.first().ok_or(USAGE)?;
+            let text = std::fs::read_to_string(log_path).map_err(|e| e.to_string())?;
+            let parsed = parse_log(&text).map_err(|e| e.to_string())?;
+            let report = DragAnalyzer::new().analyze(&parsed.records, |c| Some(SiteId(c.0)));
+            print!("{}", render(&report, &parsed, args.top));
+        }
+        "inspect" => {
+            let log_path = args.positional.first().ok_or(USAGE)?;
+            let rank: usize = args
+                .positional
+                .get(1)
+                .ok_or("inspect needs a site rank (1 = highest drag)")?
+                .parse()
+                .map_err(|_| "bad rank")?;
+            let text = std::fs::read_to_string(log_path).map_err(|e| e.to_string())?;
+            let parsed = parse_log(&text).map_err(|e| e.to_string())?;
+            let report = DragAnalyzer::new().analyze(&parsed.records, |c| Some(SiteId(c.0)));
+            let entry = report
+                .by_nested_site
+                .get(rank.saturating_sub(1))
+                .ok_or_else(|| format!("only {} sites", report.by_nested_site.len()))?;
+            use heapdrag::core::ChainNamer;
+            println!("site #{rank}: {}", parsed.chain_name(entry.site));
+            println!(
+                "pattern: {}   suggested rewriting: {}\n",
+                entry.stats.pattern,
+                entry.stats.suggested_transform()
+            );
+            let histogram =
+                heapdrag::core::LifetimeHistogram::for_site(&parsed.records, entry.site, 1024);
+            print!("{}", histogram.render());
+        }
+        "timeline" => {
+            let prog_path = args.positional.first().ok_or(USAGE)?;
+            let program = load_program(prog_path)?;
+            let input = input_ints(&args.positional[1..])?;
+            let run = profile(&program, &input, config).map_err(|e| e.to_string())?;
+            let timeline = Timeline::from_run(&run);
+            print!("{}", timeline.ascii_chart(12));
+        }
+        "optimize" => {
+            let prog_path = args.positional.first().ok_or(USAGE)?;
+            let out = args.output.as_deref().ok_or("optimize needs -o <file>")?;
+            let mut program = load_program(prog_path)?;
+            let original = program.clone();
+            let input = input_ints(&args.positional[1..])?;
+            let outcome = optimize_iteratively(
+                &mut program,
+                &input,
+                config,
+                OptimizerOptions::default(),
+                3,
+            )
+            .map_err(|e| e.to_string())?;
+            for a in &outcome.applied {
+                eprintln!("applied [{}] {}", a.kind, a.detail);
+            }
+            // Behavioural check before writing anything.
+            let before = Vm::new(&original, RawConfig::default())
+                .run(&input)
+                .map_err(|e| e.to_string())?;
+            let after = Vm::new(&program, RawConfig::default())
+                .run(&input)
+                .map_err(|e| e.to_string())?;
+            if before.output != after.output {
+                return Err("optimizer changed program output; refusing to write".into());
+            }
+            std::fs::write(out, disassemble(&program)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "optimized program written to {out} ({} rewrites; allocation {} -> {} bytes)",
+                outcome.applied.len(),
+                before.heap.allocated_bytes,
+                after.heap.allocated_bytes
+            );
+        }
+        "report-sites" | "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+        }
+        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("heapdrag: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The automated pipeline over the whole suite: profile → optimize →
+//! verify → re-profile. The optimizer must never change behaviour and
+//! never regress space on any benchmark/input.
+
+use heapdrag::core::{profile, Integrals, SavingsReport, VmConfig};
+use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
+use heapdrag::transform::{check_equivalence, Equivalence};
+use heapdrag::workloads::all_workloads;
+
+#[test]
+fn optimizer_preserves_behaviour_on_all_benchmarks_and_inputs() {
+    for w in all_workloads() {
+        let original = w.original();
+        let default_input = (w.default_input)();
+        let mut optimized = original.clone();
+        optimize_iteratively(
+            &mut optimized,
+            &default_input,
+            VmConfig::profiling(),
+            OptimizerOptions::default(),
+            2,
+        )
+        .expect("optimizer runs");
+
+        // Verified not only on the profiled input but also on the
+        // alternate one (the paper's multiple-input check, §3.2).
+        let inputs = vec![default_input, (w.alternate_input)()];
+        let eq = check_equivalence(&original, &optimized, &inputs).expect("both run");
+        assert_eq!(eq, Equivalence::Same, "{}", w.name);
+    }
+}
+
+#[test]
+fn optimizer_never_regresses_space() {
+    for w in all_workloads() {
+        let original = w.original();
+        let input = (w.default_input)();
+        let mut optimized = original.clone();
+        optimize_iteratively(
+            &mut optimized,
+            &input,
+            VmConfig::profiling(),
+            OptimizerOptions::default(),
+            2,
+        )
+        .expect("optimizer runs");
+        let before = profile(&original, &input, VmConfig::profiling()).expect("runs");
+        let after = profile(&optimized, &input, VmConfig::profiling()).expect("runs");
+        let s = SavingsReport::new(
+            Integrals::from_records(&before.records),
+            Integrals::from_records(&after.records),
+        );
+        assert!(
+            s.space_saving_pct() > -1.0,
+            "{}: space saving {:.2}% must not regress",
+            w.name,
+            s.space_saving_pct()
+        );
+    }
+}
+
+#[test]
+fn manual_revisions_beat_or_match_no_op_on_every_benchmark() {
+    // The Table 2 relation: every revised variant's reachable integral is
+    // at most the original's (db: equal).
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let o = profile(&w.original(), &input, VmConfig::profiling()).expect("runs");
+        let r = profile(&w.revised(), &input, VmConfig::profiling()).expect("runs");
+        let io = Integrals::from_records(&o.records);
+        let ir = Integrals::from_records(&r.records);
+        assert!(
+            ir.reachable <= io.reachable,
+            "{}: revised reachable {} vs original {}",
+            w.name,
+            ir.reachable,
+            io.reachable
+        );
+    }
+}
