@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline CI gate for the heapdrag workspace.
+#
+# The workspace has no external crate dependencies, so everything below
+# runs without registry or network access:
+#
+#   1. release build of the whole workspace
+#   2. full test suite (unit + integration + testkit property tests)
+#   3. clippy with warnings denied
+#   4. a smoke run of the two-phase tool, sequential and sharded, checking
+#      that the sharded report is byte-identical to the sequential one
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke: two-phase tool =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+bin=target/release/heapdrag
+
+"$bin" profile examples/dragged.hdj -o "$tmp/smoke.log"
+"$bin" report "$tmp/smoke.log" --top 5 > "$tmp/report-seq.txt"
+"$bin" report "$tmp/smoke.log" --top 5 --shards 4 --chunk-records 64 \
+    2> "$tmp/shard-metrics.txt" > "$tmp/report-par.txt"
+diff -u "$tmp/report-seq.txt" "$tmp/report-par.txt"
+grep -q '^\[parse\]' "$tmp/shard-metrics.txt"
+grep -q '^\[analyze\]' "$tmp/shard-metrics.txt"
+"$bin" inspect "$tmp/smoke.log" 1 --shards 2 > /dev/null
+
+echo "== ok =="

@@ -6,12 +6,13 @@
 //! positive (average ~1 %), driven by (i) avoided allocation and
 //! initialisation and (ii) fewer GC invocations.
 //!
-//! We reproduce both effects with the VM's generational mode: Criterion
-//! measures wall-clock per variant, and a deterministic cost model
-//! (instructions + allocation + GC tracing work) reports the
-//! platform-independent saving.
+//! We reproduce both effects with the VM's generational mode: a plain
+//! `std::time::Instant` harness measures wall-clock per variant, and a
+//! deterministic cost model (instructions + allocation + GC tracing work)
+//! reports the platform-independent saving.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
 use heapdrag_vm::interp::{Vm, VmConfig};
 use heapdrag_workloads::all_workloads;
 
@@ -25,29 +26,48 @@ fn runtime_config() -> VmConfig {
     }
 }
 
-fn bench_runtimes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4");
-    group.sample_size(10);
+/// Median wall-clock of `samples` runs (after one warm-up run).
+fn time_variant(program: &heapdrag_vm::program::Program, input: &[i64], samples: usize) -> Duration {
+    Vm::new(program, runtime_config())
+        .run(std::hint::black_box(input))
+        .expect("runs");
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            Vm::new(program, runtime_config())
+                .run(std::hint::black_box(input))
+                .expect("runs");
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    const SAMPLES: usize = 10;
+
+    println!("=== Table 4 (wall-clock): median of {SAMPLES} runs, generational GC ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "benchmark", "orig (µs)", "revised (µs)", "saving %"
+    );
+    println!("{}", "-".repeat(52));
     for w in all_workloads() {
         let input = (w.default_input)();
         let original = w.original();
         let revised = w.revised();
-        group.bench_function(format!("{}/original", w.name), |b| {
-            b.iter(|| {
-                Vm::new(&original, runtime_config())
-                    .run(std::hint::black_box(&input))
-                    .expect("runs")
-            })
-        });
-        group.bench_function(format!("{}/revised", w.name), |b| {
-            b.iter(|| {
-                Vm::new(&revised, runtime_config())
-                    .run(std::hint::black_box(&input))
-                    .expect("runs")
-            })
-        });
+        let to = time_variant(&original, &input, SAMPLES);
+        let tr = time_variant(&revised, &input, SAMPLES);
+        let saving = (1.0 - tr.as_secs_f64() / to.as_secs_f64()) * 100.0;
+        println!(
+            "{:<10} {:>14} {:>14} {:>10.2}",
+            w.name,
+            to.as_micros(),
+            tr.as_micros(),
+            saving
+        );
     }
-    group.finish();
 
     // Deterministic cost model — the Table 4 "runtime saving" column
     // without measurement noise.
@@ -82,6 +102,3 @@ fn bench_runtimes(c: &mut Criterion) {
     println!("{:<10} {:>40.2}", "average", sum / n);
     println!("(paper: between -0.38% and 2.32%, average ~1.07%)");
 }
-
-criterion_group!(benches, bench_runtimes);
-criterion_main!(benches);

@@ -1,11 +1,22 @@
 //! The off-line phase: partition dragged objects by site and produce
 //! drag-sorted reports (§2.2 of the paper).
+//!
+//! The partitioning is data-parallel: the record slice is split into
+//! contiguous shards, each shard accumulates *partial groups* (exact
+//! integer sums plus the member indices of every group it touches) on its
+//! own worker thread, and a deterministic merge concatenates the shards in
+//! input order. Lifetime classification — the only floating-point step —
+//! runs after the merge over each group's members in original record
+//! order, so the report is byte-identical for every shard count. See
+//! [`crate::parallel`] for the configuration and the argument.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use heapdrag_vm::ids::{ChainId, SiteId};
 
 use crate::integrals::Integrals;
+use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::pattern::{classify, LifetimePattern, PatternConfig, TransformKind};
 use crate::record::ObjectRecord;
 
@@ -108,6 +119,200 @@ pub struct DragAnalyzer {
     config: AnalyzerConfig,
 }
 
+/// Exact, order-independent per-group sums — everything [`GroupStats`]
+/// holds except the (floating-point, order-sensitive) pattern. Merging two
+/// partials is integer addition, so shard merges cannot drift from the
+/// sequential result.
+#[derive(Debug, Clone, Copy, Default)]
+struct PartialStats {
+    objects: u64,
+    never_used: u64,
+    bytes: u64,
+    drag: u128,
+    never_used_drag: u128,
+    reachable: u128,
+    in_use: u128,
+}
+
+impl PartialStats {
+    fn add(&mut self, r: &ObjectRecord, window: u64) {
+        self.objects += 1;
+        self.bytes += r.size;
+        self.drag += r.drag();
+        self.reachable += r.reachable_product();
+        self.in_use += r.in_use_product();
+        if r.is_never_used(window) {
+            self.never_used += 1;
+            self.never_used_drag += r.drag();
+        }
+    }
+
+    fn merge(&mut self, other: &PartialStats) {
+        self.objects += other.objects;
+        self.never_used += other.never_used;
+        self.bytes += other.bytes;
+        self.drag += other.drag;
+        self.never_used_drag += other.never_used_drag;
+        self.reachable += other.reachable;
+        self.in_use += other.in_use;
+    }
+}
+
+/// One partition cell as accumulated by a shard: exact sums plus the
+/// global indices of the member records (ascending — shards are contiguous
+/// and scanned in order).
+#[derive(Debug, Clone, Default)]
+struct Group {
+    partial: PartialStats,
+    members: Vec<u32>,
+}
+
+impl Group {
+    fn add(&mut self, index: u32, r: &ObjectRecord, window: u64) {
+        self.partial.add(r, window);
+        self.members.push(index);
+    }
+
+    fn merge(&mut self, other: Group) {
+        self.partial.merge(&other.partial);
+        self.members.extend(other.members);
+    }
+}
+
+/// All three partitions plus totals for one shard of records.
+#[derive(Debug, Default)]
+struct ShardAccum {
+    nested: HashMap<ChainId, Group>,
+    coarse: HashMap<SiteId, Group>,
+    pairs: HashMap<(ChainId, Option<ChainId>), Group>,
+    totals: Integrals,
+}
+
+impl ShardAccum {
+    fn group_count(&self) -> u64 {
+        (self.nested.len() + self.coarse.len() + self.pairs.len()) as u64
+    }
+
+    fn merge(&mut self, other: ShardAccum) {
+        for (k, g) in other.nested {
+            self.nested.entry(k).or_default().merge(g);
+        }
+        for (k, g) in other.coarse {
+            self.coarse.entry(k).or_default().merge(g);
+        }
+        for (k, g) in other.pairs {
+            self.pairs.entry(k).or_default().merge(g);
+        }
+        self.totals.reachable += other.totals.reachable;
+        self.totals.in_use += other.totals.in_use;
+    }
+}
+
+/// Accumulates one contiguous shard. `base` is the global index of
+/// `records[0]`, so member indices stay global across shards.
+fn accumulate_shard<F>(
+    records: &[ObjectRecord],
+    base: u32,
+    window: u64,
+    innermost: &F,
+) -> ShardAccum
+where
+    F: Fn(ChainId) -> Option<SiteId>,
+{
+    let mut accum = ShardAccum::default();
+    for (offset, r) in records.iter().enumerate() {
+        let index = base + offset as u32;
+        accum.nested.entry(r.alloc_site).or_default().add(index, r, window);
+        if let Some(s) = innermost(r.alloc_site) {
+            accum.coarse.entry(s).or_default().add(index, r, window);
+        }
+        let use_site = if r.is_never_used(window) {
+            None
+        } else {
+            r.last_use_site
+        };
+        accum
+            .pairs
+            .entry((r.alloc_site, use_site))
+            .or_default()
+            .add(index, r, window);
+        accum.totals.reachable += r.reachable_product();
+        accum.totals.in_use += r.in_use_product();
+    }
+    accum
+}
+
+/// Finishes one merged group: copies the exact sums and classifies the
+/// members in original record order (identical to the sequential pass).
+fn group_stats(group: &Group, records: &[ObjectRecord], patterns: &PatternConfig) -> GroupStats {
+    let refs: Vec<&ObjectRecord> = group
+        .members
+        .iter()
+        .map(|&i| &records[i as usize])
+        .collect();
+    GroupStats {
+        objects: group.partial.objects,
+        never_used: group.partial.never_used,
+        bytes: group.partial.bytes,
+        drag: group.partial.drag,
+        never_used_drag: group.partial.never_used_drag,
+        reachable: group.partial.reachable,
+        in_use: group.partial.in_use,
+        pattern: classify(&refs, patterns),
+    }
+}
+
+/// Turns merged groups into report entries, classifying on `workers`
+/// threads. Classification of one group is self-contained, and the caller
+/// sorts the entries with a total order, so the fan-out cannot change the
+/// result.
+fn finalize_groups<K, E, M>(
+    groups: Vec<(K, Group)>,
+    records: &[ObjectRecord],
+    patterns: &PatternConfig,
+    workers: usize,
+    make: M,
+) -> Vec<E>
+where
+    K: Send,
+    E: Send,
+    M: Fn(K, GroupStats) -> E + Sync,
+{
+    if workers <= 1 || groups.len() <= 1 {
+        return groups
+            .into_iter()
+            .map(|(k, g)| make(k, group_stats(&g, records, patterns)))
+            .collect();
+    }
+    let chunk = groups.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<(K, Group)>> = Vec::new();
+    let mut it = groups.into_iter();
+    loop {
+        let c: Vec<(K, Group)> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let make = &make;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| {
+                s.spawn(move || {
+                    c.into_iter()
+                        .map(|(k, g)| make(k, group_stats(&g, records, patterns)))
+                        .collect::<Vec<E>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("finalize worker panicked"))
+            .collect()
+    })
+}
+
 impl DragAnalyzer {
     /// Creates an analyzer with default thresholds.
     pub fn new() -> Self {
@@ -121,80 +326,145 @@ impl DragAnalyzer {
 
     /// Partitions `records` (with the innermost-site resolver `innermost`,
     /// typically [`SiteTable::innermost`](heapdrag_vm::site::SiteTable::innermost))
-    /// and produces the report.
+    /// and produces the report. Sequential — the `shards = 1` special case
+    /// of [`analyze_sharded`](Self::analyze_sharded), kept separate so
+    /// resolvers need not be [`Sync`].
     pub fn analyze<F>(&self, records: &[ObjectRecord], innermost: F) -> DragReport
     where
         F: Fn(ChainId) -> Option<SiteId>,
     {
         let window = self.config.patterns.ctor_use_window;
+        let accum = accumulate_shard(records, 0, window, &innermost);
+        self.finalize(accum, records, 1)
+    }
 
-        let mut nested: HashMap<ChainId, Vec<&ObjectRecord>> = HashMap::new();
-        let mut coarse: HashMap<SiteId, Vec<&ObjectRecord>> = HashMap::new();
-        let mut pairs: HashMap<(ChainId, Option<ChainId>), Vec<&ObjectRecord>> = HashMap::new();
-        for r in records {
-            nested.entry(r.alloc_site).or_default().push(r);
-            if let Some(s) = innermost(r.alloc_site) {
-                coarse.entry(s).or_default().push(r);
-            }
-            let use_site = if r.is_never_used(window) {
-                None
-            } else {
-                r.last_use_site
-            };
-            pairs.entry((r.alloc_site, use_site)).or_default().push(r);
-        }
+    /// The sharded analysis: splits `records` into
+    /// [`ParallelConfig::shards`] contiguous shards, accumulates each on a
+    /// worker thread ([`std::thread::scope`]), merges the partial groups
+    /// deterministically, and classifies the merged groups. The report is
+    /// byte-identical to [`analyze`](Self::analyze) for every shard count;
+    /// the returned [`ParallelMetrics`] carry per-shard record counts and
+    /// timings for the bench harness.
+    pub fn analyze_sharded<F>(
+        &self,
+        records: &[ObjectRecord],
+        innermost: F,
+        par: &ParallelConfig,
+    ) -> (DragReport, ParallelMetrics)
+    where
+        F: Fn(ChainId) -> Option<SiteId> + Sync,
+    {
+        let start = Instant::now();
+        let window = self.config.patterns.ctor_use_window;
+        let workers = par.effective_shards(records.len());
+        let mut metrics = ParallelMetrics::default();
 
-        let stats_of = |group: &[&ObjectRecord]| -> GroupStats {
-            let mut s = GroupStats {
-                objects: group.len() as u64,
-                never_used: 0,
-                bytes: 0,
-                drag: 0,
-                never_used_drag: 0,
-                reachable: 0,
-                in_use: 0,
-                pattern: LifetimePattern::Mixed,
+        let split_start = Instant::now();
+        // Contiguous, near-even shards; shard i covers
+        // records[bounds[i]..bounds[i + 1]].
+        let per_shard = records.len().div_ceil(workers.max(1));
+        let slices: Vec<(usize, &[ObjectRecord])> = (0..workers)
+            .map(|i| {
+                let lo = (i * per_shard).min(records.len());
+                let hi = ((i + 1) * per_shard).min(records.len());
+                (lo, &records[lo..hi])
+            })
+            .collect();
+        metrics.split_elapsed = split_start.elapsed();
+
+        let innermost = &innermost;
+        let shard_results: Vec<(ShardAccum, ShardMetrics)> = if workers <= 1 {
+            let t = Instant::now();
+            let accum = accumulate_shard(records, 0, window, innermost);
+            let m = ShardMetrics {
+                shard: 0,
+                records: records.len() as u64,
+                samples: 0,
+                groups: accum.group_count(),
+                elapsed: t.elapsed(),
             };
-            for r in group {
-                s.bytes += r.size;
-                s.drag += r.drag();
-                s.reachable += r.reachable_product();
-                s.in_use += r.in_use_product();
-                if r.is_never_used(window) {
-                    s.never_used += 1;
-                    s.never_used_drag += r.drag();
-                }
-            }
-            s.pattern = classify(group, &self.config.patterns);
-            s
+            vec![(accum, m)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = slices
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, &(base, slice))| {
+                        s.spawn(move || {
+                            let t = Instant::now();
+                            let accum =
+                                accumulate_shard(slice, base as u32, window, innermost);
+                            let m = ShardMetrics {
+                                shard,
+                                records: slice.len() as u64,
+                                samples: 0,
+                                groups: accum.group_count(),
+                                elapsed: t.elapsed(),
+                            };
+                            (accum, m)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("analysis shard panicked"))
+                    .collect()
+            })
         };
 
-        let mut by_nested_site: Vec<NestedSiteEntry> = nested
-            .iter()
-            .map(|(site, group)| NestedSiteEntry {
-                site: *site,
-                stats: stats_of(group),
-            })
-            .collect();
+        let merge_start = Instant::now();
+        let mut merged = ShardAccum::default();
+        for (accum, m) in shard_results {
+            // Shards merge in input order, so every group's member list
+            // stays in original record order.
+            merged.merge(accum);
+            metrics.shards.push(m);
+        }
+        let report = self.finalize(merged, records, workers);
+        metrics.merge_elapsed = merge_start.elapsed();
+        metrics.total_elapsed = start.elapsed();
+        (report, metrics)
+    }
+
+    /// Classification, entry construction, and sorting over merged groups.
+    fn finalize(&self, accum: ShardAccum, records: &[ObjectRecord], workers: usize) -> DragReport {
+        let patterns = &self.config.patterns;
+        let ShardAccum {
+            nested,
+            coarse,
+            pairs,
+            totals,
+        } = accum;
+
+        let mut by_nested_site: Vec<NestedSiteEntry> = finalize_groups(
+            nested.into_iter().collect(),
+            records,
+            patterns,
+            workers,
+            |site, stats| NestedSiteEntry { site, stats },
+        );
         by_nested_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
 
-        let mut by_coarse_site: Vec<CoarseSiteEntry> = coarse
-            .iter()
-            .map(|(site, group)| CoarseSiteEntry {
-                site: *site,
-                stats: stats_of(group),
-            })
-            .collect();
+        let mut by_coarse_site: Vec<CoarseSiteEntry> = finalize_groups(
+            coarse.into_iter().collect(),
+            records,
+            patterns,
+            workers,
+            |site, stats| CoarseSiteEntry { site, stats },
+        );
         by_coarse_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
 
-        let mut by_alloc_and_last_use: Vec<AllocUsePairEntry> = pairs
-            .iter()
-            .map(|((alloc, last_use), group)| AllocUsePairEntry {
-                alloc_site: *alloc,
-                last_use_site: *last_use,
-                stats: stats_of(group),
-            })
-            .collect();
+        let mut by_alloc_and_last_use: Vec<AllocUsePairEntry> = finalize_groups(
+            pairs.into_iter().collect(),
+            records,
+            patterns,
+            workers,
+            |(alloc_site, last_use_site), stats| AllocUsePairEntry {
+                alloc_site,
+                last_use_site,
+                stats,
+            },
+        );
         by_alloc_and_last_use.sort_by(|a, b| {
             b.stats
                 .drag
@@ -214,7 +484,7 @@ impl DragAnalyzer {
             by_coarse_site,
             by_alloc_and_last_use,
             never_used_sites,
-            totals: Integrals::from_records(records),
+            totals,
         }
     }
 }
@@ -327,5 +597,43 @@ mod tests {
         assert_eq!(e.stats.reachable, e.stats.in_use + e.stats.drag);
         assert!(e.stats.never_used_drag <= e.stats.drag);
         assert_eq!(e.stats.bytes, 30);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_small_inputs() {
+        let records: Vec<ObjectRecord> = (0..37)
+            .map(|i| {
+                record(
+                    i,
+                    (i % 5) as u32,
+                    i * 3,
+                    (i % 3 == 0).then_some(i * 3 + 40),
+                    i * 3 + 200,
+                    8 + (i % 7) * 16,
+                )
+            })
+            .collect();
+        let sequential = analyze(&records);
+        for shards in [1, 2, 3, 8, 64] {
+            let (sharded, metrics) = DragAnalyzer::new().analyze_sharded(
+                &records,
+                |c| Some(SiteId(c.0)),
+                &ParallelConfig::with_shards(shards),
+            );
+            assert_eq!(sharded, sequential, "shards = {shards}");
+            assert_eq!(metrics.total_records(), records.len() as u64);
+            assert_eq!(metrics.shards.len(), shards.min(records.len()));
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_input() {
+        let (report, metrics) = DragAnalyzer::new().analyze_sharded(
+            &[],
+            |c| Some(SiteId(c.0)),
+            &ParallelConfig::with_shards(4),
+        );
+        assert_eq!(report, analyze(&[]));
+        assert_eq!(metrics.total_records(), 0);
     }
 }

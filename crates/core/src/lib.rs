@@ -23,6 +23,11 @@
 //! [`integrals`] the space-time integrals, and [`compare`] the savings
 //! ratios of Tables 2 and 3.
 //!
+//! For production-size traces both off-line stages — log decoding and
+//! per-site aggregation — run sharded across worker threads; see
+//! [`parallel`] for the [`ParallelConfig`] knobs and the determinism
+//! argument (reports are byte-identical for every shard count).
+//!
 //! ```
 //! use heapdrag_core::{profile, DragAnalyzer, VmConfig};
 //! use heapdrag_vm::ProgramBuilder;
@@ -54,6 +59,7 @@ pub mod compare;
 pub mod histogram;
 pub mod integrals;
 pub mod log;
+pub mod parallel;
 pub mod pattern;
 pub mod profiler;
 pub mod record;
@@ -64,6 +70,7 @@ pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
 pub use compare::SavingsReport;
 pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
+pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
 pub use profiler::{profile, DragProfiler, ProfileRun};
 pub use record::{GcSample, ObjectRecord};

@@ -19,10 +19,12 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
 use heapdrag_vm::program::Program;
 
+use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::profiler::ProfileRun;
 use crate::record::{GcSample, ObjectRecord};
 use crate::report::ChainNamer;
@@ -138,12 +140,102 @@ fn opt_field<'a, T: std::str::FromStr>(
     })
 }
 
-/// Parses a phase-1 log (phase-2 input).
+/// One decoded record line: either an object trailer or a deep-GC sample.
+/// Chunk workers keep the two streams separate so the merge can append to
+/// `records`/`samples` exactly as the sequential scan would.
+#[derive(Debug, Default)]
+struct ChunkOut {
+    records: Vec<ObjectRecord>,
+    samples: Vec<GcSample>,
+}
+
+/// Parses one `obj` line body (after the directive word).
+fn parse_obj<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<ObjectRecord, LogError> {
+    let object = ObjectId(field(parts, n, "object id")?);
+    let class = ClassId(field(parts, n, "class id")?);
+    let size = field(parts, n, "size")?;
+    let created = field(parts, n, "created")?;
+    let freed = field(parts, n, "freed")?;
+    let last_use = opt_field(parts, n, "last use")?;
+    let alloc_site = ChainId(field(parts, n, "alloc chain")?);
+    let last_use_site = opt_field::<u32>(parts, n, "use chain")?.map(ChainId);
+    let at_exit: u8 = field(parts, n, "at-exit flag")?;
+    Ok(ObjectRecord {
+        object,
+        class,
+        size,
+        created,
+        freed,
+        last_use,
+        alloc_site,
+        last_use_site,
+        at_exit: at_exit != 0,
+    })
+}
+
+/// Parses one `gc` line body (after the directive word).
+fn parse_gc<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<GcSample, LogError> {
+    Ok(GcSample {
+        time: field(parts, n, "time")?,
+        reachable_bytes: field(parts, n, "reachable bytes")?,
+        reachable_count: field(parts, n, "reachable count")?,
+    })
+}
+
+/// Decodes one chunk of `obj`/`gc` lines. `lines` carries the 1-based line
+/// number of each entry so errors keep their sequential line numbers.
+fn parse_chunk(lines: &[(usize, &str)]) -> Result<ChunkOut, LogError> {
+    let mut out = ChunkOut::default();
+    for &(n, line) in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("obj") => out.records.push(parse_obj(&mut parts, n)?),
+            Some("gc") => out.samples.push(parse_gc(&mut parts, n)?),
+            other => unreachable!("chunked line {n} is not obj/gc: {other:?}"),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a phase-1 log (phase-2 input). Sequential — the `shards = 1`
+/// special case of [`parse_log_sharded`].
 ///
 /// # Errors
 ///
 /// Returns a [`LogError`] naming the first malformed line.
 pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
+    parse_log_sharded(text, &ParallelConfig::sequential()).map(|(log, _)| log)
+}
+
+/// Parses a phase-1 log with a sharded record decoder.
+///
+/// The coordinating thread scans the file once: the header and the `end`
+/// and `chain` directives are parsed in place (they are rare and carry
+/// shared state), while `obj`/`gc` lines — the bulk of a trace — are
+/// batched into chunks of [`ParallelConfig::chunk_records`] lines and
+/// decoded on up to [`ParallelConfig::shards`] worker threads. Chunks are
+/// reassembled in input order, so the resulting [`ParsedLog`] is identical
+/// to the sequential parse; when several lines are malformed, the reported
+/// [`LogError`] is the one with the smallest line number, exactly as the
+/// sequential scan would have reported.
+///
+/// # Errors
+///
+/// Returns a [`LogError`] naming the first malformed line.
+pub fn parse_log_sharded(
+    text: &str,
+    par: &ParallelConfig,
+) -> Result<(ParsedLog, ParallelMetrics), LogError> {
+    let start = Instant::now();
+    let mut metrics = ParallelMetrics::default();
+    let split_start = Instant::now();
+
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
     let (_, header) = lines.next().ok_or(LogError {
         line: 1,
@@ -155,60 +247,145 @@ pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
             message: format!("unrecognised header `{header}`"),
         });
     }
+
+    let chunk_records = par.effective_chunk();
     let mut log = ParsedLog::default();
+    let mut chunks: Vec<Vec<(usize, &str)>> = Vec::new();
+    let mut current: Vec<(usize, &str)> = Vec::new();
+    // The scan stops at the first error *it* can see (the sequential scan
+    // would stop there too); record lines before it may still hold an
+    // earlier error, found below by the chunk workers.
+    let mut scan_error: Option<LogError> = None;
     for (n, line) in lines {
         if line.is_empty() {
             continue;
         }
         let mut parts = line.split_whitespace();
         match parts.next() {
-            Some("end") => {
-                log.end_time = field(&mut parts, n, "end time")?;
-            }
-            Some("chain") => {
-                let id: u32 = field(&mut parts, n, "chain id")?;
-                let rest: Vec<&str> = parts.collect();
-                log.chain_names.insert(ChainId(id), rest.join(" "));
-            }
-            Some("obj") => {
-                let object = ObjectId(field(&mut parts, n, "object id")?);
-                let class = ClassId(field(&mut parts, n, "class id")?);
-                let size = field(&mut parts, n, "size")?;
-                let created = field(&mut parts, n, "created")?;
-                let freed = field(&mut parts, n, "freed")?;
-                let last_use = opt_field(&mut parts, n, "last use")?;
-                let alloc_site = ChainId(field(&mut parts, n, "alloc chain")?);
-                let last_use_site = opt_field::<u32>(&mut parts, n, "use chain")?.map(ChainId);
-                let at_exit: u8 = field(&mut parts, n, "at-exit flag")?;
-                log.records.push(ObjectRecord {
-                    object,
-                    class,
-                    size,
-                    created,
-                    freed,
-                    last_use,
-                    alloc_site,
-                    last_use_site,
-                    at_exit: at_exit != 0,
-                });
-            }
-            Some("gc") => {
-                log.samples.push(GcSample {
-                    time: field(&mut parts, n, "time")?,
-                    reachable_bytes: field(&mut parts, n, "reachable bytes")?,
-                    reachable_count: field(&mut parts, n, "reachable count")?,
-                });
+            Some("end") => match field(&mut parts, n, "end time") {
+                Ok(t) => log.end_time = t,
+                Err(e) => {
+                    scan_error = Some(e);
+                    break;
+                }
+            },
+            Some("chain") => match field::<u32>(&mut parts, n, "chain id") {
+                Ok(id) => {
+                    let rest: Vec<&str> = parts.collect();
+                    log.chain_names.insert(ChainId(id), rest.join(" "));
+                }
+                Err(e) => {
+                    scan_error = Some(e);
+                    break;
+                }
+            },
+            Some("obj") | Some("gc") => {
+                current.push((n, line));
+                if current.len() >= chunk_records {
+                    chunks.push(std::mem::take(&mut current));
+                }
             }
             Some(other) => {
-                return Err(LogError {
+                scan_error = Some(LogError {
                     line: n,
                     message: format!("unknown directive `{other}`"),
-                })
+                });
+                break;
             }
             None => {}
         }
     }
-    Ok(log)
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    metrics.split_elapsed = split_start.elapsed();
+
+    let workers = par.effective_shards(chunks.len());
+    let results: Vec<(Result<ChunkOut, LogError>, ShardMetrics)> = if workers <= 1 {
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| decode_chunk(i, c))
+            .collect()
+    } else {
+        // Work-stealing over chunk indices: workers pull the next
+        // unclaimed chunk, so a slow chunk cannot serialise the rest.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let chunks = &chunks;
+        let next = &next;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= chunks.len() {
+                                return mine;
+                            }
+                            let (result, m) = decode_chunk(i, &chunks[i]);
+                            mine.push((i, result, m));
+                        }
+                    })
+                })
+                .collect();
+            let mut all: Vec<(usize, Result<ChunkOut, LogError>, ShardMetrics)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parse worker panicked"))
+                .collect();
+            all.sort_by_key(|(i, _, _)| *i);
+            all.into_iter().map(|(_, r, m)| (r, m)).collect()
+        })
+    };
+
+    let merge_start = Instant::now();
+    // The first malformed line wins, wherever it was found.
+    let mut first_error: Option<LogError> = scan_error;
+    let mut outs = Vec::with_capacity(results.len());
+    for (result, m) in results {
+        match result {
+            Ok(out) => {
+                metrics.shards.push(m);
+                outs.push(out);
+            }
+            Err(e) => {
+                if first_error.as_ref().is_none_or(|f| e.line < f.line) {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    for out in outs {
+        log.records.extend(out.records);
+        log.samples.extend(out.samples);
+    }
+    metrics.merge_elapsed = merge_start.elapsed();
+    metrics.total_elapsed = start.elapsed();
+    Ok((log, metrics))
+}
+
+/// Decodes one chunk, timing the decode and counting what it produced.
+fn decode_chunk(
+    index: usize,
+    lines: &[(usize, &str)],
+) -> (Result<ChunkOut, LogError>, ShardMetrics) {
+    let t = Instant::now();
+    let result = parse_chunk(lines);
+    let (records, samples) = match &result {
+        Ok(out) => (out.records.len() as u64, out.samples.len() as u64),
+        Err(_) => (0, 0),
+    };
+    let m = ShardMetrics {
+        shard: index,
+        records,
+        samples,
+        groups: 0,
+        elapsed: t.elapsed(),
+    };
+    (result, m)
 }
 
 #[cfg(test)]
@@ -243,5 +420,63 @@ mod tests {
         let text = "heapdrag-log v1\nwhat 1\n";
         let e = parse_log(text).unwrap_err();
         assert!(e.message.contains("what"));
+    }
+
+    /// A synthetic log big enough to exercise multiple chunks.
+    fn big_log(records: usize) -> String {
+        let mut text = String::from("heapdrag-log v1\nend 1000000\nchain 0 Main.main@1\n");
+        for i in 0..records {
+            text.push_str(&format!(
+                "obj {} 2 {} {} {} {} 0 {} {}\n",
+                i,
+                8 + (i % 13) * 8,
+                i * 3,
+                i * 3 + 500,
+                if i % 4 == 0 { "-".to_string() } else { (i * 3 + 100).to_string() },
+                if i % 4 == 0 { "-".to_string() } else { "0".to_string() },
+                i % 2,
+            ));
+            if i % 50 == 0 {
+                text.push_str(&format!("gc {} {} {}\n", i * 3, i * 10, i));
+            }
+        }
+        text
+    }
+
+    #[test]
+    fn sharded_parse_matches_sequential() {
+        let text = big_log(500);
+        let sequential = parse_log(&text).unwrap();
+        for shards in [1, 2, 8] {
+            let par = ParallelConfig {
+                shards,
+                chunk_records: 64,
+            };
+            let (sharded, metrics) = parse_log_sharded(&text, &par).unwrap();
+            assert_eq!(sharded, sequential, "shards = {shards}");
+            assert_eq!(metrics.total_records(), 500);
+            assert!(metrics.shards.len() > 1, "chunked into multiple units");
+        }
+    }
+
+    #[test]
+    fn sharded_parse_reports_first_error_line() {
+        // Two malformed lines; every shard count must report the earlier
+        // one, exactly like the sequential scan.
+        let mut text = big_log(200);
+        let mut lines: Vec<&str> = text.lines().collect();
+        let bad_early = "obj 7 nonsense";
+        let bad_late = "what 1";
+        lines[40] = bad_early; // 1-based line 41
+        lines[150] = bad_late;
+        text = lines.join("\n");
+        for shards in [1, 2, 8] {
+            let par = ParallelConfig {
+                shards,
+                chunk_records: 16,
+            };
+            let e = parse_log_sharded(&text, &par).unwrap_err();
+            assert_eq!(e.line, 41, "shards = {shards}: {e}");
+        }
     }
 }

@@ -1,0 +1,162 @@
+//! Sharding configuration and per-shard instrumentation for the parallel
+//! off-line pipeline.
+//!
+//! The off-line phase (§2.2) has two data-parallel stages:
+//!
+//! 1. **Parse** ([`log::parse_log_sharded`](crate::log::parse_log_sharded))
+//!    — the header, `end`, and `chain` directives are parsed once on the
+//!    coordinating thread while `obj`/`gc` record lines are batched into
+//!    chunks of [`ParallelConfig::chunk_records`] lines and decoded on
+//!    worker threads.
+//! 2. **Aggregate** ([`DragAnalyzer::analyze_sharded`](crate::analyzer::DragAnalyzer::analyze_sharded))
+//!    — the record slice is split into [`ParallelConfig::shards`]
+//!    contiguous shards, each accumulated into partial per-site groups on
+//!    its own worker, then merged deterministically.
+//!
+//! Both stages are *exact*: every per-group quantity that crosses a shard
+//! boundary is an integer sum (associative, order-independent), and the
+//! floating-point lifetime classifier runs only after the merge, over each
+//! group's members in original record order. The report for `shards = n`
+//! is therefore byte-identical to the sequential `shards = 1` report.
+
+use std::time::Duration;
+
+/// Knobs of the parallel off-line pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker shards. `1` (the default) is the sequential path;
+    /// `0` is treated as `1`.
+    pub shards: usize,
+    /// Records per parse chunk — the work-unit handed to parse workers.
+    pub chunk_records: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            shards: 1,
+            chunk_records: 8192,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The sequential configuration (`shards = 1`).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// A configuration with `shards` workers and the default chunk size.
+    pub fn with_shards(shards: usize) -> Self {
+        ParallelConfig {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Worker count actually used for `items` work units: at least 1, at
+    /// most `shards`, and never more than the number of units.
+    pub fn effective_shards(&self, items: usize) -> usize {
+        self.shards.max(1).min(items.max(1))
+    }
+
+    /// Chunk size actually used (guards against a zero knob).
+    pub fn effective_chunk(&self) -> usize {
+        self.chunk_records.max(1)
+    }
+}
+
+/// Counters for one shard (or parse chunk) of the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard (or chunk) index, in input order.
+    pub shard: usize,
+    /// Object records processed by this shard.
+    pub records: u64,
+    /// Deep-GC samples processed by this shard.
+    pub samples: u64,
+    /// Distinct groups (nested + coarse + pair cells) this shard touched;
+    /// zero for parse chunks.
+    pub groups: u64,
+    /// Wall-clock the worker spent on this shard.
+    pub elapsed: Duration,
+}
+
+/// Instrumentation of one parallel stage: per-shard counters plus the
+/// stage-level costs that do not parallelise.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelMetrics {
+    /// One entry per shard/chunk, in input order.
+    pub shards: Vec<ShardMetrics>,
+    /// Sequential work before the fan-out (header/chain scan, slicing).
+    pub split_elapsed: Duration,
+    /// Sequential work after the fan-in (merge, classification, sorting).
+    pub merge_elapsed: Duration,
+    /// End-to-end wall-clock of the stage.
+    pub total_elapsed: Duration,
+}
+
+impl ParallelMetrics {
+    /// Total records processed across all shards.
+    pub fn total_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// The longest single shard — the stage's critical path through the
+    /// fan-out section.
+    pub fn slowest_shard(&self) -> Option<&ShardMetrics> {
+        self.shards.iter().max_by_key(|s| s.elapsed)
+    }
+
+    /// One line per shard, for `--shards`-aware tools to print.
+    pub fn render(&self, stage: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "[{stage}] {} shards, {} records, split {:?}, merge {:?}, total {:?}\n",
+            self.shards.len(),
+            self.total_records(),
+            self.split_elapsed,
+            self.merge_elapsed,
+            self.total_elapsed,
+        ));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "[{stage}]   shard {:>3}: {:>9} records {:>7} samples {:>7} groups in {:?}\n",
+                s.shard, s.records, s.samples, s.groups, s.elapsed,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_shards_clamps_to_work() {
+        let c = ParallelConfig::with_shards(8);
+        assert_eq!(c.effective_shards(3), 3);
+        assert_eq!(c.effective_shards(100), 8);
+        assert_eq!(c.effective_shards(0), 1);
+        let z = ParallelConfig { shards: 0, chunk_records: 0 };
+        assert_eq!(z.effective_shards(10), 1);
+        assert_eq!(z.effective_chunk(), 1);
+    }
+
+    #[test]
+    fn metrics_aggregate() {
+        let m = ParallelMetrics {
+            shards: vec![
+                ShardMetrics { shard: 0, records: 10, samples: 1, groups: 4, elapsed: Duration::from_millis(5) },
+                ShardMetrics { shard: 1, records: 20, samples: 0, groups: 6, elapsed: Duration::from_millis(9) },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(m.total_records(), 30);
+        assert_eq!(m.slowest_shard().unwrap().shard, 1);
+        let text = m.render("analyze");
+        assert!(text.contains("shard   0"));
+        assert!(text.contains("2 shards"));
+    }
+}

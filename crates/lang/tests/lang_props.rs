@@ -4,8 +4,8 @@
 
 use heapdrag_lang::pretty::print_program;
 use heapdrag_lang::{compile_source, lexer, parser};
+use heapdrag_testkit::{check, Rng};
 use heapdrag_vm::interp::{Vm, VmConfig};
-use proptest::prelude::*;
 
 /// Generator for well-typed statements over: int locals `a`, `b`; an
 /// int-array local `xs`; a `Box` object local `bx` (class with int field
@@ -24,31 +24,40 @@ enum GenStmt {
     WhileCounted(u8, Vec<GenStmt>),
 }
 
-fn leaf() -> impl Strategy<Value = GenStmt> {
-    prop_oneof![
-        (-50..50i32).prop_map(GenStmt::SetA),
-        Just(GenStmt::AddAB),
-        (0..8u8, -9..9i32).prop_map(|(i, v)| GenStmt::StoreXs(i, v)),
-        (0..8u8).prop_map(GenStmt::ReadXs),
-        (-20..20i32).prop_map(GenStmt::NewBox),
-        Just(GenStmt::Bump),
-        Just(GenStmt::ReadBox),
-        Just(GenStmt::PrintA),
-    ]
+fn leaf(rng: &mut Rng) -> GenStmt {
+    match rng.range_u32(0, 8) {
+        0 => GenStmt::SetA(rng.range_i32(-50, 50)),
+        1 => GenStmt::AddAB,
+        2 => GenStmt::StoreXs(rng.range_u8(0, 8), rng.range_i32(-9, 9)),
+        3 => GenStmt::ReadXs(rng.range_u8(0, 8)),
+        4 => GenStmt::NewBox(rng.range_i32(-20, 20)),
+        5 => GenStmt::Bump,
+        6 => GenStmt::ReadBox,
+        _ => GenStmt::PrintA,
+    }
 }
 
-fn stmt() -> impl Strategy<Value = GenStmt> {
-    leaf().prop_recursive(2, 16, 4, |inner| {
-        prop_oneof![
-            (
-                proptest::collection::vec(inner.clone(), 0..3),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(t, e)| GenStmt::IfALtB(t, e)),
-            (1..5u8, proptest::collection::vec(inner, 0..3))
-                .prop_map(|(n, b)| GenStmt::WhileCounted(n, b)),
-        ]
-    })
+/// Depth-bounded recursive statement generator: at positive depth, one in
+/// four draws nests an `if` or a counted `while` whose bodies recurse one
+/// level shallower.
+fn stmt(rng: &mut Rng, depth: u32) -> GenStmt {
+    if depth > 0 && rng.ratio(1, 4) {
+        if rng.bool() {
+            let t = rng.vec(0, 3, |r| stmt(r, depth - 1));
+            let e = rng.vec(0, 3, |r| stmt(r, depth - 1));
+            GenStmt::IfALtB(t, e)
+        } else {
+            let n = rng.range_u8(1, 5);
+            let body = rng.vec(0, 3, |r| stmt(r, depth - 1));
+            GenStmt::WhileCounted(n, body)
+        }
+    } else {
+        leaf(rng)
+    }
+}
+
+fn stmts(rng: &mut Rng, max: usize) -> Vec<GenStmt> {
+    rng.vec(0, max, |r| stmt(r, 2))
 }
 
 fn render(stmts: &[GenStmt], out: &mut String, counter: &mut usize) {
@@ -105,40 +114,36 @@ def main(input: int[]) {{
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn generated_sources_compile_and_run_deterministically(
-        stmts in proptest::collection::vec(stmt(), 0..10)
-    ) {
-        let src = source_for(&stmts);
+#[test]
+fn generated_sources_compile_and_run_deterministically() {
+    check("generated_sources_compile_and_run_deterministically", 32, |rng| {
+        let src = source_for(&stmts(rng, 10));
         let program = compile_source(&src)
             .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
         heapdrag_vm::verify::verify_program(&program).expect("verifier-clean");
         let a = Vm::new(&program, VmConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&program, VmConfig::profiling()).run(&[]).expect("runs");
-        prop_assert_eq!(a.output, b.output);
-    }
+        assert_eq!(a.output, b.output);
+    });
+}
 
-    #[test]
-    fn pretty_print_parse_is_a_fixed_point(
-        stmts in proptest::collection::vec(stmt(), 0..10)
-    ) {
-        let src = source_for(&stmts);
+#[test]
+fn pretty_print_parse_is_a_fixed_point() {
+    check("pretty_print_parse_is_a_fixed_point", 32, |rng| {
+        let src = source_for(&stmts(rng, 10));
         let ast1 = parser::parse(&lexer::lex(&src).unwrap()).unwrap();
         let printed1 = print_program(&ast1);
         let ast2 = parser::parse(&lexer::lex(&printed1).unwrap())
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed1}"));
         let printed2 = print_program(&ast2);
-        prop_assert_eq!(printed1, printed2);
-    }
+        assert_eq!(printed1, printed2);
+    });
+}
 
-    #[test]
-    fn printed_source_behaves_identically(
-        stmts in proptest::collection::vec(stmt(), 0..8)
-    ) {
-        let src = source_for(&stmts);
+#[test]
+fn printed_source_behaves_identically() {
+    check("printed_source_behaves_identically", 32, |rng| {
+        let src = source_for(&stmts(rng, 8));
         let ast = parser::parse(&lexer::lex(&src).unwrap()).unwrap();
         let printed = print_program(&ast);
         let p1 = compile_source(&src).expect("original compiles");
@@ -146,8 +151,8 @@ proptest! {
             .unwrap_or_else(|e| panic!("printed source failed: {e}\n{printed}"));
         let o1 = Vm::new(&p1, VmConfig::default()).run(&[]).expect("runs");
         let o2 = Vm::new(&p2, VmConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(o1.output, o2.output);
-    }
+        assert_eq!(o1.output, o2.output);
+    });
 }
 
 /// The AST type parameter of [`TypeName::Array`] round-trips through the

@@ -1,0 +1,33 @@
+//! # heapdrag-testkit
+//!
+//! A zero-dependency replacement for the slice of `rand` + `proptest` the
+//! workspace actually uses, so the test suite builds and runs with the
+//! network disabled.
+//!
+//! Two pieces:
+//!
+//! * [`Rng`] — a deterministic SplitMix64 generator with the handful of
+//!   sampling helpers the generators in `tests/` need (ranges, booleans,
+//!   slice picks, sized vectors).
+//! * [`check`] — a minimal property runner: it derives one seed per case
+//!   from a base seed, hands a fresh [`Rng`] to the property closure, and
+//!   on panic reports the case number and failing seed so the case can be
+//!   replayed with `TESTKIT_SEED=<seed> TESTKIT_CASES=1`.
+//!
+//! ```
+//! use heapdrag_testkit::{check, Rng};
+//!
+//! check("addition commutes", 64, |rng: &mut Rng| {
+//!     let a = rng.range_i64(-1000, 1000);
+//!     let b = rng.range_i64(-1000, 1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod runner;
+
+pub use rng::Rng;
+pub use runner::{check, check_with, Config};

@@ -5,13 +5,13 @@
 
 use std::collections::HashSet;
 
+use heapdrag_testkit::{check, Rng};
 use heapdrag_vm::class::Method;
 use heapdrag_vm::gc::{collect_full, collect_minor};
 use heapdrag_vm::heap::{Handle, Heap};
 use heapdrag_vm::insn::Insn;
 use heapdrag_vm::program::Program;
 use heapdrag_vm::value::Value;
-use proptest::prelude::*;
 
 fn test_program() -> Program {
     let mut p = Program::empty();
@@ -30,17 +30,12 @@ struct GraphSpec {
     roots: Vec<usize>,
 }
 
-fn graph_strategy(max_objects: usize) -> impl Strategy<Value = GraphSpec> {
-    (2..max_objects).prop_flat_map(|n| {
-        let fields = proptest::collection::vec(1u8..6, n);
-        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 3);
-        let roots = proptest::collection::vec(0..n, 0..n.div_ceil(2));
-        (fields, edges, roots).prop_map(|(fields, edges, roots)| GraphSpec {
-            fields,
-            edges,
-            roots,
-        })
-    })
+fn graph(rng: &mut Rng, max_objects: usize) -> GraphSpec {
+    let n = rng.range_usize(2, max_objects);
+    let fields = (0..n).map(|_| rng.range_u8(1, 6)).collect();
+    let edges = rng.vec(0, n * 3, |r| (r.range_usize(0, n), r.range_usize(0, n)));
+    let roots = rng.vec(0, n.div_ceil(2).max(1), |r| r.range_usize(0, n));
+    GraphSpec { fields, edges, roots }
 }
 
 /// Materialises the spec; returns handles in spec order.
@@ -73,7 +68,8 @@ fn closure(spec: &GraphSpec) -> HashSet<usize> {
                 let slot = to % spec.fields[*from] as usize;
                 let winner = spec
                     .edges
-                    .iter().rfind(|(f, t)| *f == i && t % spec.fields[i] as usize == slot)
+                    .iter()
+                    .rfind(|(f, t)| *f == i && t % spec.fields[i] as usize == slot)
                     .map(|(_, t)| *t)
                     .expect("at least this edge");
                 stack.push(winner);
@@ -83,11 +79,10 @@ fn closure(spec: &GraphSpec) -> HashSet<usize> {
     seen
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn full_collection_frees_exactly_the_unreachable(spec in graph_strategy(24)) {
+#[test]
+fn full_collection_frees_exactly_the_unreachable() {
+    check("full_collection_frees_exactly_the_unreachable", 64, |rng| {
+        let spec = graph(rng, 24);
         let program = test_program();
         let (mut heap, handles) = build_heap(&program, &spec);
         let roots: Vec<Handle> = spec.roots.iter().map(|i| handles[*i]).collect();
@@ -95,7 +90,7 @@ proptest! {
         let mut freed = 0usize;
         collect_full(&mut heap, &program, &roots, &mut |_| freed += 1);
         for (i, h) in handles.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 heap.get(*h).is_some(),
                 expected.contains(&i),
                 "object {} reachable={}",
@@ -103,27 +98,33 @@ proptest! {
                 expected.contains(&i)
             );
         }
-        prop_assert_eq!(freed, handles.len() - expected.len());
-    }
+        assert_eq!(freed, handles.len() - expected.len());
+    });
+}
 
-    #[test]
-    fn accounting_stays_consistent_after_collection(spec in graph_strategy(24)) {
+#[test]
+fn accounting_stays_consistent_after_collection() {
+    check("accounting_stays_consistent_after_collection", 64, |rng| {
+        let spec = graph(rng, 24);
         let program = test_program();
         let (mut heap, handles) = build_heap(&program, &spec);
         let roots: Vec<Handle> = spec.roots.iter().map(|i| handles[*i]).collect();
         collect_full(&mut heap, &program, &roots, &mut |_| {});
         let live_bytes: u64 = heap.iter().map(|(_, o)| o.size_bytes).sum();
-        prop_assert_eq!(heap.live_bytes(), live_bytes);
-        prop_assert_eq!(heap.live_count(), heap.iter().count() as u64);
+        assert_eq!(heap.live_bytes(), live_bytes);
+        assert_eq!(heap.live_count(), heap.iter().count() as u64);
         let stats = heap.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.allocated_objects,
             heap.live_count() + stats.freed_objects
         );
-    }
+    });
+}
 
-    #[test]
-    fn collection_is_idempotent(spec in graph_strategy(20)) {
+#[test]
+fn collection_is_idempotent() {
+    check("collection_is_idempotent", 64, |rng| {
+        let spec = graph(rng, 20);
         let program = test_program();
         let (mut heap, handles) = build_heap(&program, &spec);
         let roots: Vec<Handle> = spec.roots.iter().map(|i| handles[*i]).collect();
@@ -131,16 +132,19 @@ proptest! {
         let alive_after_first: Vec<bool> = handles.iter().map(|h| heap.get(*h).is_some()).collect();
         let mut freed_second = 0;
         collect_full(&mut heap, &program, &roots, &mut |_| freed_second += 1);
-        prop_assert_eq!(freed_second, 0, "second collection frees nothing");
+        assert_eq!(freed_second, 0, "second collection frees nothing");
         for (h, was_alive) in handles.iter().zip(alive_after_first) {
-            prop_assert_eq!(heap.get(*h).is_some(), was_alive);
+            assert_eq!(heap.get(*h).is_some(), was_alive);
         }
-    }
+    });
+}
 
-    #[test]
-    fn minor_collection_is_conservative(spec in graph_strategy(20)) {
+#[test]
+fn minor_collection_is_conservative() {
+    check("minor_collection_is_conservative", 64, |rng| {
         // Whatever survives a full collection must also survive a minor
         // one (the nursery may keep more alive, never less).
+        let spec = graph(rng, 20);
         let program = test_program();
         let (mut heap, handles) = build_heap(&program, &spec);
         let roots: Vec<Handle> = spec.roots.iter().map(|i| handles[*i]).collect();
@@ -148,8 +152,8 @@ proptest! {
         collect_minor(&mut heap, &program, &roots, &mut |_| {});
         for (i, h) in handles.iter().enumerate() {
             if expected.contains(&i) {
-                prop_assert!(heap.get(*h).is_some(), "reachable {} survives minor", i);
+                assert!(heap.get(*h).is_some(), "reachable {} survives minor", i);
             }
         }
-    }
+    });
 }

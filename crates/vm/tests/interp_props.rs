@@ -2,13 +2,13 @@
 //! deterministically, survive assembly round-trips, and keep heap
 //! accounting consistent under any GC configuration.
 
+use heapdrag_testkit::{check, Rng};
 use heapdrag_vm::asm::assemble;
 use heapdrag_vm::builder::ProgramBuilder;
 use heapdrag_vm::class::Visibility;
 use heapdrag_vm::disasm::disassemble;
 use heapdrag_vm::interp::{Vm, VmConfig};
 use heapdrag_vm::program::Program;
-use proptest::prelude::*;
 
 /// A generator for small, well-formed programs: straight-line statements
 /// over int locals and one object class, with an optional if/else on a
@@ -28,19 +28,40 @@ enum Stmt {
 const INT_LOCALS: u16 = 3; // locals 1..=3 hold ints
 const REF_LOCALS: u16 = 3; // locals 4..=6 hold refs
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (1..=INT_LOCALS, -100..100i32).prop_map(|(local, value)| Stmt::SetInt { local, value }),
-        (1..=INT_LOCALS, 1..=INT_LOCALS).prop_map(|(local, other)| Stmt::AddInto { local, other }),
-        (4..4 + REF_LOCALS, -50..50i32)
-            .prop_map(|(local, field_value)| Stmt::AllocObj { local, field_value }),
-        (4..4 + REF_LOCALS, 1..=INT_LOCALS).prop_map(|(from, into)| Stmt::ReadField { from, into }),
-        (4..4 + REF_LOCALS, 1..20u8).prop_map(|(local, len)| Stmt::AllocArray { local, len }),
-        (4..4 + REF_LOCALS, 0..20u8, -9..9i32)
-            .prop_map(|(local, idx, value)| Stmt::StoreElem { local, idx, value }),
-        (4..4 + REF_LOCALS).prop_map(|local| Stmt::DropRef { local }),
-        (1..=INT_LOCALS).prop_map(|local| Stmt::PrintLocal { local }),
-    ]
+fn stmt(rng: &mut Rng) -> Stmt {
+    match rng.range_u32(0, 8) {
+        0 => Stmt::SetInt {
+            local: rng.range_u16(1, INT_LOCALS + 1),
+            value: rng.range_i32(-100, 100),
+        },
+        1 => Stmt::AddInto {
+            local: rng.range_u16(1, INT_LOCALS + 1),
+            other: rng.range_u16(1, INT_LOCALS + 1),
+        },
+        2 => Stmt::AllocObj {
+            local: rng.range_u16(4, 4 + REF_LOCALS),
+            field_value: rng.range_i32(-50, 50),
+        },
+        3 => Stmt::ReadField {
+            from: rng.range_u16(4, 4 + REF_LOCALS),
+            into: rng.range_u16(1, INT_LOCALS + 1),
+        },
+        4 => Stmt::AllocArray {
+            local: rng.range_u16(4, 4 + REF_LOCALS),
+            len: rng.range_u8(1, 20),
+        },
+        5 => Stmt::StoreElem {
+            local: rng.range_u16(4, 4 + REF_LOCALS),
+            idx: rng.range_u8(0, 20),
+            value: rng.range_i32(-9, 9),
+        },
+        6 => Stmt::DropRef {
+            local: rng.range_u16(4, 4 + REF_LOCALS),
+        },
+        _ => Stmt::PrintLocal {
+            local: rng.range_u16(1, INT_LOCALS + 1),
+        },
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -53,25 +74,15 @@ struct ProgSpec {
     tail: Vec<Stmt>,
 }
 
-fn prog_strategy() -> impl Strategy<Value = ProgSpec> {
-    (
-        proptest::collection::vec(stmt_strategy(), 0..12),
-        proptest::collection::vec(stmt_strategy(), 0..6),
-        proptest::collection::vec(stmt_strategy(), 0..6),
-        proptest::collection::vec(stmt_strategy(), 0..6),
-        0..20u8,
-        proptest::collection::vec(stmt_strategy(), 0..8),
-    )
-        .prop_map(
-            |(setup, then_branch, else_branch, loop_body, loop_count, tail)| ProgSpec {
-                setup,
-                then_branch,
-                else_branch,
-                loop_body,
-                loop_count,
-                tail,
-            },
-        )
+fn prog(rng: &mut Rng) -> ProgSpec {
+    ProgSpec {
+        setup: rng.vec(0, 12, stmt),
+        then_branch: rng.vec(0, 6, stmt),
+        else_branch: rng.vec(0, 6, stmt),
+        loop_body: rng.vec(0, 6, stmt),
+        loop_count: rng.range_u8(0, 20),
+        tail: rng.vec(0, 8, stmt),
+    }
 }
 
 fn build(spec: &ProgSpec) -> Program {
@@ -163,54 +174,68 @@ fn build(spec: &ProgSpec) -> Program {
     b.finish().expect("generated program links")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_pass_the_verifier(spec in prog_strategy()) {
-        let p = build(&spec);
+#[test]
+fn generated_programs_pass_the_verifier() {
+    check("generated_programs_pass_the_verifier", 48, |rng| {
+        let p = build(&prog(rng));
         heapdrag_vm::verify::verify_program(&p).expect("builder output verifies");
-    }
+    });
+}
 
-    #[test]
-    fn generated_programs_run_deterministically(spec in prog_strategy()) {
-        let p = build(&spec);
+#[test]
+fn generated_programs_run_deterministically() {
+    check("generated_programs_run_deterministically", 48, |rng| {
+        let p = build(&prog(rng));
         let a = Vm::new(&p, VmConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&p, VmConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(&a.output, &b.output);
-        prop_assert_eq!(a.steps, b.steps);
-        prop_assert_eq!(a.end_time, b.end_time);
-    }
+        assert_eq!(&a.output, &b.output);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.end_time, b.end_time);
+    });
+}
 
-    #[test]
-    fn gc_configuration_never_changes_output(spec in prog_strategy()) {
-        let p = build(&spec);
+#[test]
+fn gc_configuration_never_changes_output() {
+    check("gc_configuration_never_changes_output", 48, |rng| {
+        let p = build(&prog(rng));
         let plain = Vm::new(&p, VmConfig::default()).run(&[]).expect("runs");
         let profiled = Vm::new(&p, VmConfig::profiling()).run(&[]).expect("runs");
-        let tight = Vm::new(&p, VmConfig {
-            deep_gc_interval: Some(512),
-            ..VmConfig::default()
-        }).run(&[]).expect("runs");
-        let generational = Vm::new(&p, VmConfig {
-            generational: true,
-            nursery_bytes: 1024,
-            ..VmConfig::default()
-        }).run(&[]).expect("runs");
-        prop_assert_eq!(&plain.output, &profiled.output);
-        prop_assert_eq!(&plain.output, &tight.output);
-        prop_assert_eq!(&plain.output, &generational.output);
+        let tight = Vm::new(
+            &p,
+            VmConfig {
+                deep_gc_interval: Some(512),
+                ..VmConfig::default()
+            },
+        )
+        .run(&[])
+        .expect("runs");
+        let generational = Vm::new(
+            &p,
+            VmConfig {
+                generational: true,
+                nursery_bytes: 1024,
+                ..VmConfig::default()
+            },
+        )
+        .run(&[])
+        .expect("runs");
+        assert_eq!(&plain.output, &profiled.output);
+        assert_eq!(&plain.output, &tight.output);
+        assert_eq!(&plain.output, &generational.output);
         // Allocation behaviour (the byte clock) is GC-independent too.
-        prop_assert_eq!(plain.end_time, profiled.end_time);
-        prop_assert_eq!(plain.end_time, generational.end_time);
-    }
+        assert_eq!(plain.end_time, profiled.end_time);
+        assert_eq!(plain.end_time, generational.end_time);
+    });
+}
 
-    #[test]
-    fn assembly_roundtrip_preserves_generated_programs(spec in prog_strategy()) {
-        let p = build(&spec);
+#[test]
+fn assembly_roundtrip_preserves_generated_programs() {
+    check("assembly_roundtrip_preserves_generated_programs", 48, |rng| {
+        let p = build(&prog(rng));
         let text = disassemble(&p);
         let p2 = assemble(&text).expect("reassembles");
         let a = Vm::new(&p, VmConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&p2, VmConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(a.output, b.output);
-    }
+        assert_eq!(a.output, b.output);
+    });
 }

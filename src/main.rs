@@ -4,15 +4,19 @@
 //! ```text
 //! heapdrag run      <prog.hdasm> [input ints…]
 //! heapdrag profile  <prog.hdasm> -o <out.log> [--interval-kb N] [input ints…]
-//! heapdrag report   <log file> [--top N]
+//! heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
 //! heapdrag timeline <prog.hdasm> [input ints…]
 //! heapdrag optimize <prog.hdasm> -o <out.hdasm> [input ints…]
 //! ```
+//!
+//! `--shards N` runs the off-line phase (log decoding and per-site
+//! aggregation) on N worker threads; the report is byte-identical to the
+//! sequential one, and per-shard timings are printed to stderr.
 
 use std::process::ExitCode;
 
-use heapdrag::core::log::{parse_log, write_log};
-use heapdrag::core::{profile, render, DragAnalyzer, Timeline, VmConfig};
+use heapdrag::core::log::{parse_log_sharded, write_log};
+use heapdrag::core::{profile, render, DragAnalyzer, ParallelConfig, Timeline, VmConfig};
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
 use heapdrag::vm::disasm::disassemble;
@@ -22,8 +26,8 @@ const USAGE: &str = "usage:
   heapdrag run      <prog> [input ints...]
   heapdrag compile  <prog.hdj> -o <out.hdasm>
   heapdrag profile  <prog> -o <out.log> [--interval-kb N] [input ints...]
-  heapdrag report   <log file> [--top N]
-  heapdrag inspect  <log file> <rank>   (lifetime histograms of the rank-th site)
+  heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
+  heapdrag inspect  <log file> <rank> [--shards N]   (lifetime histograms of the rank-th site)
   heapdrag timeline <prog> [input ints...]
   heapdrag optimize <prog> -o <out.hdasm> [input ints...]
 
@@ -34,6 +38,7 @@ struct Args {
     output: Option<String>,
     interval_kb: Option<u64>,
     top: usize,
+    parallel: ParallelConfig,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -42,6 +47,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         output: None,
         interval_kb: None,
         top: 10,
+        parallel: ParallelConfig::sequential(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -57,10 +63,35 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--top needs a number")?;
                 args.top = v.parse().map_err(|_| "bad --top")?;
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a number")?;
+                args.parallel.shards = v.parse().map_err(|_| "bad --shards")?;
+            }
+            "--chunk-records" => {
+                let v = it.next().ok_or("--chunk-records needs a number")?;
+                args.parallel.chunk_records = v.parse().map_err(|_| "bad --chunk-records")?;
+            }
             other => args.positional.push(other.to_string()),
         }
     }
     Ok(args)
+}
+
+/// Parses and analyzes a log file under the configured sharding, printing
+/// per-shard instrumentation to stderr when more than one shard is in play.
+fn analyze_log_file(
+    path: &str,
+    parallel: &ParallelConfig,
+) -> Result<(heapdrag::core::log::ParsedLog, heapdrag::core::DragReport), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let (parsed, parse_metrics) = parse_log_sharded(&text, parallel).map_err(|e| e.to_string())?;
+    let (report, analyze_metrics) =
+        DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), parallel);
+    if parallel.shards > 1 {
+        eprint!("{}", parse_metrics.render("parse"));
+        eprint!("{}", analyze_metrics.render("analyze"));
+    }
+    Ok((parsed, report))
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -136,9 +167,7 @@ fn run_main() -> Result<(), String> {
         }
         "report" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
-            let text = std::fs::read_to_string(log_path).map_err(|e| e.to_string())?;
-            let parsed = parse_log(&text).map_err(|e| e.to_string())?;
-            let report = DragAnalyzer::new().analyze(&parsed.records, |c| Some(SiteId(c.0)));
+            let (parsed, report) = analyze_log_file(log_path, &args.parallel)?;
             print!("{}", render(&report, &parsed, args.top));
         }
         "inspect" => {
@@ -149,9 +178,7 @@ fn run_main() -> Result<(), String> {
                 .ok_or("inspect needs a site rank (1 = highest drag)")?
                 .parse()
                 .map_err(|_| "bad rank")?;
-            let text = std::fs::read_to_string(log_path).map_err(|e| e.to_string())?;
-            let parsed = parse_log(&text).map_err(|e| e.to_string())?;
-            let report = DragAnalyzer::new().analyze(&parsed.records, |c| Some(SiteId(c.0)));
+            let (parsed, report) = analyze_log_file(log_path, &args.parallel)?;
             let entry = report
                 .by_nested_site
                 .get(rank.saturating_sub(1))

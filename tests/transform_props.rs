@@ -7,7 +7,7 @@ use heapdrag::transform::{assign_null_program, remove_all_dead_allocations};
 use heapdrag::vm::builder::ProgramBuilder;
 use heapdrag::vm::class::Visibility;
 use heapdrag::vm::{Program, Vm, VmConfig as RawConfig};
-use proptest::prelude::*;
+use heapdrag_testkit::{check, Rng};
 
 /// One statement of the generated programs (ints in locals 1–2, refs in
 /// locals 3–5).
@@ -23,17 +23,29 @@ enum Stmt {
     Churn(u8),
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (1..=2u16, -50..50i32).prop_map(|(l, v)| Stmt::SetInt(l, v)),
-        (1..=2u16, 1..=2u16).prop_map(|(a, b)| Stmt::Add(a, b)),
-        (3..=5u16, -20..20i32).prop_map(|(local, v)| Stmt::AllocUseObj { local, v }),
-        (3..=5u16).prop_map(|local| Stmt::AllocDeadObj { local }),
-        (3..=5u16, 1..=2u16).prop_map(|(from, into)| Stmt::ReadField { from, into }),
-        (3..=5u16).prop_map(Stmt::Drop),
-        (1..=2u16).prop_map(Stmt::Print),
-        (1..30u8).prop_map(Stmt::Churn),
-    ]
+fn stmt(rng: &mut Rng) -> Stmt {
+    match rng.range_u32(0, 8) {
+        0 => Stmt::SetInt(rng.range_u16(1, 3), rng.range_i32(-50, 50)),
+        1 => Stmt::Add(rng.range_u16(1, 3), rng.range_u16(1, 3)),
+        2 => Stmt::AllocUseObj {
+            local: rng.range_u16(3, 6),
+            v: rng.range_i32(-20, 20),
+        },
+        3 => Stmt::AllocDeadObj {
+            local: rng.range_u16(3, 6),
+        },
+        4 => Stmt::ReadField {
+            from: rng.range_u16(3, 6),
+            into: rng.range_u16(1, 3),
+        },
+        5 => Stmt::Drop(rng.range_u16(3, 6)),
+        6 => Stmt::Print(rng.range_u16(1, 3)),
+        _ => Stmt::Churn(rng.range_u8(1, 30)),
+    }
+}
+
+fn stmts(rng: &mut Rng, max: usize) -> Vec<Stmt> {
+    rng.vec(0, max, stmt)
 }
 
 fn build(stmts: &[Stmt], branch_stmts: &[Stmt]) -> Program {
@@ -104,22 +116,17 @@ fn build(stmts: &[Stmt], branch_stmts: &[Stmt]) -> Program {
     b.finish().expect("generated program links")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn assign_null_preserves_output_and_saves_space(
-        stmts in proptest::collection::vec(stmt(), 0..20),
-        branch in proptest::collection::vec(stmt(), 0..8),
-    ) {
-        let original = build(&stmts, &branch);
+#[test]
+fn assign_null_preserves_output_and_saves_space() {
+    check("assign_null_preserves_output_and_saves_space", 40, |rng| {
+        let original = build(&stmts(rng, 20), &stmts(rng, 8));
         let mut revised = original.clone();
         assign_null_program(&mut revised);
         revised.link().expect("still well-formed");
 
         let a = Vm::new(&original, RawConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&revised, RawConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(&a.output, &b.output);
+        assert_eq!(&a.output, &b.output);
 
         // Space-time never regresses under fine-grained collection.
         let mut cfg = VmConfig::profiling();
@@ -128,41 +135,40 @@ proptest! {
         let pr = profile(&revised, &[], cfg).expect("profiles");
         let io = Integrals::from_records(&po.records);
         let ir = Integrals::from_records(&pr.records);
-        prop_assert!(
+        assert!(
             ir.reachable <= io.reachable,
             "reachable {} -> {}",
             io.reachable,
             ir.reachable
         );
-        prop_assert_eq!(io.in_use, ir.in_use, "uses unchanged");
-    }
+        assert_eq!(io.in_use, ir.in_use, "uses unchanged");
+    });
+}
 
-    #[test]
-    fn dead_code_removal_preserves_output(
-        stmts in proptest::collection::vec(stmt(), 0..20),
-        branch in proptest::collection::vec(stmt(), 0..8),
-    ) {
-        let original = build(&stmts, &branch);
+#[test]
+fn dead_code_removal_preserves_output() {
+    check("dead_code_removal_preserves_output", 40, |rng| {
+        let original = build(&stmts(rng, 20), &stmts(rng, 8));
         let mut revised = original.clone();
         let removed = remove_all_dead_allocations(&mut revised);
         revised.link().expect("still well-formed");
         let a = Vm::new(&original, RawConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&revised, RawConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(&a.output, &b.output);
-        prop_assert!(
+        assert_eq!(&a.output, &b.output);
+        assert!(
             b.heap.allocated_bytes <= a.heap.allocated_bytes,
             "removal never allocates more"
         );
         // Note: a strict decrease is NOT guaranteed — a removed allocation
         // may sit on a path the input never executes.
         let _ = removed;
-    }
+    });
+}
 
-    #[test]
-    fn transforms_compose(
-        stmts in proptest::collection::vec(stmt(), 0..16),
-    ) {
-        let original = build(&stmts, &[]);
+#[test]
+fn transforms_compose() {
+    check("transforms_compose", 40, |rng| {
+        let original = build(&stmts(rng, 16), &[]);
         let mut revised = original.clone();
         assign_null_program(&mut revised);
         remove_all_dead_allocations(&mut revised);
@@ -172,6 +178,6 @@ proptest! {
             .expect("transformed program passes the bytecode verifier");
         let a = Vm::new(&original, RawConfig::default()).run(&[]).expect("runs");
         let b = Vm::new(&revised, RawConfig::default()).run(&[]).expect("runs");
-        prop_assert_eq!(a.output, b.output);
-    }
+        assert_eq!(a.output, b.output);
+    });
 }
