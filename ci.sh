@@ -9,6 +9,8 @@
 #   3. clippy with warnings denied
 #   4. a smoke run of the two-phase tool, sequential and sharded, checking
 #      that the sharded report is byte-identical to the sequential one
+#   5. a metrics smoke: both phases write --metrics-out snapshots and the
+#      jq-free metrics_check example verifies they reconcile exactly
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,10 +33,29 @@ bin=target/release/heapdrag
 "$bin" profile examples/dragged.hdj -o "$tmp/smoke.log"
 "$bin" report "$tmp/smoke.log" --top 5 > "$tmp/report-seq.txt"
 "$bin" report "$tmp/smoke.log" --top 5 --shards 4 --chunk-records 64 \
+    --verbose-metrics \
     2> "$tmp/shard-metrics.txt" > "$tmp/report-par.txt"
 diff -u "$tmp/report-seq.txt" "$tmp/report-par.txt"
 grep -q '^\[parse\]' "$tmp/shard-metrics.txt"
 grep -q '^\[analyze\]' "$tmp/shard-metrics.txt"
+# Per-shard timings are opt-in: without --verbose-metrics stderr stays clean.
+"$bin" report "$tmp/smoke.log" --top 5 --shards 4 --chunk-records 64 \
+    2> "$tmp/quiet.txt" > /dev/null
+if grep -q '^\[parse\]\|^\[analyze\]' "$tmp/quiet.txt"; then
+    echo "shard timings printed without --verbose-metrics" >&2
+    exit 1
+fi
 "$bin" inspect "$tmp/smoke.log" 1 --shards 2 > /dev/null
+
+echo "== smoke: metrics reconciliation =="
+"$bin" profile examples/dragged.hdj -o "$tmp/smoke.log" \
+    --metrics-out "$tmp/online.json"
+"$bin" report "$tmp/smoke.log" --shards 4 \
+    --metrics-out "$tmp/offline.json" > /dev/null
+"$bin" report "$tmp/smoke.log" \
+    --metrics-out "$tmp/offline.prom" > /dev/null
+grep -q '^# TYPE heapdrag_objects_created_total counter' "$tmp/offline.prom"
+cargo run -q --release --example metrics_check -- \
+    "$tmp/online.json" "$tmp/offline.json"
 
 echo "== ok =="

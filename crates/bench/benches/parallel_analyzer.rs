@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use heapdrag_core::log::{parse_log_sharded, ParsedLog};
 use heapdrag_core::{DragAnalyzer, DragReport, ParallelConfig};
+use heapdrag_obs::Registry;
 use heapdrag_vm::SiteId;
 
 const RECORDS: usize = 200_000;
@@ -48,12 +49,21 @@ fn synthetic_log() -> String {
 }
 
 /// Median wall-clock of `SAMPLES` full pipeline runs (after one warm-up),
-/// returning the last run's output for the equality check.
-fn time_pipeline(text: &str, par: &ParallelConfig) -> (Duration, ParsedLog, DragReport) {
+/// returning the last run's output for the equality check. Each timed run
+/// publishes its stage metrics into `registry`, exactly as the CLI does
+/// under `--metrics-out` — so the timing here includes (and bounds) the
+/// observability overhead.
+fn time_pipeline(
+    text: &str,
+    par: &ParallelConfig,
+    registry: &Registry,
+) -> (Duration, ParsedLog, DragReport) {
     let run = || {
-        let (parsed, _) = parse_log_sharded(text, par).expect("parses");
-        let (report, _) =
+        let (parsed, parse_metrics) = parse_log_sharded(text, par).expect("parses");
+        let (report, analyze_metrics) =
             DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), par);
+        parse_metrics.publish("parse", registry);
+        analyze_metrics.publish("analyze", registry);
         (parsed, report)
     };
     run();
@@ -86,11 +96,13 @@ fn main() {
     );
     println!("{}", "-".repeat(48));
 
-    let (base_time, base_parsed, base_report) = time_pipeline(&text, &ParallelConfig::sequential());
+    let registry = Registry::new();
+    let (base_time, base_parsed, base_report) =
+        time_pipeline(&text, &ParallelConfig::sequential(), &registry);
     let mut rows = vec![(1usize, base_time)];
     for shards in [2usize, 4, 8] {
         let par = ParallelConfig::with_shards(shards);
-        let (t, parsed, report) = time_pipeline(&text, &par);
+        let (t, parsed, report) = time_pipeline(&text, &par, &registry);
         assert_eq!(parsed, base_parsed, "parse diverged at shards = {shards}");
         assert_eq!(report, base_report, "report diverged at shards = {shards}");
         rows.push((shards, t));
@@ -107,5 +119,13 @@ fn main() {
     println!(
         "\n(top site: {} entries; reports byte-identical across all shard counts)",
         base_report.by_nested_site.len()
+    );
+    let snap = registry.snapshot();
+    println!(
+        "(metrics: {} parse + {} analyze records published across {} shard timings)",
+        snap.counters["offline_parse_records_total"],
+        snap.counters["offline_analyze_records_total"],
+        snap.histograms["offline_parse_shard_us"].count
+            + snap.histograms["offline_analyze_shard_us"].count,
     );
 }

@@ -104,6 +104,24 @@ impl DragReport {
     pub fn nested_site(&self, site: ChainId) -> Option<&NestedSiteEntry> {
         self.by_nested_site.iter().find(|e| e.site == site)
     }
+
+    /// Publishes report shape and totals into `registry` as
+    /// `offline_report_*` gauges. Drag is a `byte²` `u128`; it is saturated
+    /// to `i64::MAX` for the gauge (the exact value stays in the report).
+    pub fn publish_metrics(&self, registry: &heapdrag_obs::Registry) {
+        let g = |name: &str, v: usize| {
+            registry
+                .gauge(name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        g("offline_report_nested_sites", self.by_nested_site.len());
+        g("offline_report_coarse_sites", self.by_coarse_site.len());
+        g("offline_report_pairs", self.by_alloc_and_last_use.len());
+        g("offline_report_never_used_sites", self.never_used_sites.len());
+        registry
+            .gauge("offline_total_drag_bytes2")
+            .set(i64::try_from(self.total_drag()).unwrap_or(i64::MAX));
+    }
 }
 
 /// Configuration of the off-line analyzer.

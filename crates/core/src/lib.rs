@@ -72,7 +72,7 @@ pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
 pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
-pub use profiler::{profile, DragProfiler, ProfileRun};
+pub use profiler::{profile, profile_with, DragProfiler, ProfileRun, ProfilerMetrics};
 pub use record::{GcSample, ObjectRecord};
 pub use report::{anchor_site, render, ChainNamer, ProgramNamer};
 pub use timeline::{Timeline, TimelinePoint};

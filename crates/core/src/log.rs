@@ -68,6 +68,36 @@ impl ChainNamer for ParsedLog {
     }
 }
 
+impl ParsedLog {
+    /// Publishes the off-line side of the **reconciliation surface**: the
+    /// same `heapdrag_*` metric names the on-line profiler emits
+    /// ([`crate::profiler::ProfilerMetrics`]), recomputed from the parsed
+    /// log. A lossless pipeline makes the two snapshots agree exactly, for
+    /// any shard count — the differential oracle `tests/metrics_parity.rs`
+    /// enforces.
+    pub fn publish_metrics(&self, registry: &heapdrag_obs::Registry) {
+        let at_exit = self.records.iter().filter(|r| r.at_exit).count() as u64;
+        registry
+            .counter("heapdrag_objects_created_total")
+            .add(self.records.len() as u64);
+        registry
+            .counter("heapdrag_alloc_bytes_total")
+            .add(self.records.iter().map(|r| r.size).sum());
+        registry
+            .counter("heapdrag_objects_reclaimed_total")
+            .add(self.records.len() as u64 - at_exit);
+        registry
+            .counter("heapdrag_objects_at_exit_total")
+            .add(at_exit);
+        registry
+            .counter("heapdrag_deep_gc_samples_total")
+            .add(self.samples.len() as u64);
+        registry
+            .gauge("heapdrag_end_time_bytes")
+            .set(i64::try_from(self.end_time).unwrap_or(i64::MAX));
+    }
+}
+
 /// Serialises a profiling run (phase-1 output).
 pub fn write_log(run: &ProfileRun, program: &Program) -> String {
     let mut out = String::from("heapdrag-log v1\n");

@@ -108,6 +108,42 @@ impl ParallelMetrics {
         self.shards.iter().max_by_key(|s| s.elapsed)
     }
 
+    /// Publishes the stage's counters into `registry` under
+    /// `offline_<stage>_*` names: per-shard elapsed observations into the
+    /// `offline_<stage>_shard_us` histogram, totals as counters, and the
+    /// sequential split/merge/total costs as microsecond gauges.
+    ///
+    /// Called once per stage after the workers have joined, so nothing here
+    /// is on a hot path.
+    pub fn publish(&self, stage: &str, registry: &heapdrag_obs::Registry) {
+        let shard_us = registry.histogram(&format!("offline_{stage}_shard_us"));
+        for s in &self.shards {
+            shard_us.observe_duration(s.elapsed);
+        }
+        registry
+            .counter(&format!("offline_{stage}_shards_total"))
+            .add(self.shards.len() as u64);
+        registry
+            .counter(&format!("offline_{stage}_records_total"))
+            .add(self.total_records());
+        registry
+            .counter(&format!("offline_{stage}_samples_total"))
+            .add(self.shards.iter().map(|s| s.samples).sum());
+        registry
+            .counter(&format!("offline_{stage}_groups_total"))
+            .add(self.shards.iter().map(|s| s.groups).sum());
+        let us = |d: Duration| i64::try_from(d.as_micros()).unwrap_or(i64::MAX);
+        registry
+            .gauge(&format!("offline_{stage}_split_us"))
+            .set(us(self.split_elapsed));
+        registry
+            .gauge(&format!("offline_{stage}_merge_us"))
+            .set(us(self.merge_elapsed));
+        registry
+            .gauge(&format!("offline_{stage}_total_us"))
+            .set(us(self.total_elapsed));
+    }
+
     /// One line per shard, for `--shards`-aware tools to print.
     pub fn render(&self, stage: &str) -> String {
         let mut out = String::new();
@@ -158,5 +194,30 @@ mod tests {
         let text = m.render("analyze");
         assert!(text.contains("shard   0"));
         assert!(text.contains("2 shards"));
+    }
+
+    #[test]
+    fn publish_writes_stage_prefixed_metrics() {
+        let m = ParallelMetrics {
+            shards: vec![
+                ShardMetrics { shard: 0, records: 10, samples: 1, groups: 4, elapsed: Duration::from_micros(5) },
+                ShardMetrics { shard: 1, records: 20, samples: 0, groups: 6, elapsed: Duration::from_micros(9) },
+            ],
+            split_elapsed: Duration::from_micros(2),
+            merge_elapsed: Duration::from_micros(3),
+            total_elapsed: Duration::from_micros(19),
+        };
+        let registry = heapdrag_obs::Registry::new();
+        m.publish("parse", &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["offline_parse_shards_total"], 2);
+        assert_eq!(snap.counters["offline_parse_records_total"], 30);
+        assert_eq!(snap.counters["offline_parse_samples_total"], 1);
+        assert_eq!(snap.counters["offline_parse_groups_total"], 10);
+        assert_eq!(snap.histograms["offline_parse_shard_us"].count, 2);
+        assert_eq!(snap.histograms["offline_parse_shard_us"].sum, 14);
+        assert_eq!(snap.gauges["offline_parse_split_us"], 2);
+        assert_eq!(snap.gauges["offline_parse_merge_us"], 3);
+        assert_eq!(snap.gauges["offline_parse_total_us"], 19);
     }
 }

@@ -3,10 +3,11 @@
 
 use std::collections::HashMap;
 
+use heapdrag_obs::{Counter, Gauge, Registry};
 use heapdrag_vm::error::VmError;
 use heapdrag_vm::ids::ObjectId;
 use heapdrag_vm::interp::{RunOutcome, Vm, VmConfig};
-use heapdrag_vm::observer::{AllocEvent, FreeEvent, GcEvent, HeapObserver, UseEvent};
+use heapdrag_vm::observer::{AllocEvent, FreeEvent, GcEvent, HeapObserver, UseEvent, UseKind};
 use heapdrag_vm::program::Program;
 use heapdrag_vm::site::SiteTable;
 
@@ -18,6 +19,51 @@ struct Trailer {
     record: ObjectRecord,
 }
 
+/// Metric handles for the on-line phase.
+///
+/// The `heapdrag_*` family is the **reconciliation surface**: the off-line
+/// analyzer publishes the same names from the parsed log
+/// ([`crate::log::ParsedLog::publish_metrics`]), and the two snapshots must
+/// agree exactly. `profiler_events_total{kind="..."}` additionally counts
+/// raw observer callbacks per event kind.
+#[derive(Debug, Clone)]
+pub struct ProfilerMetrics {
+    created: Counter,
+    alloc_bytes: Counter,
+    reclaimed: Counter,
+    at_exit: Counter,
+    samples: Counter,
+    end_time: Gauge,
+    ev_alloc: Counter,
+    ev_free: Counter,
+    ev_deep_gc: Counter,
+    ev_exit: Counter,
+    ev_use: [Counter; UseKind::ALL.len()],
+}
+
+impl ProfilerMetrics {
+    /// Registers (or re-attaches to) the profiler metric family in
+    /// `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        ProfilerMetrics {
+            created: registry.counter("heapdrag_objects_created_total"),
+            alloc_bytes: registry.counter("heapdrag_alloc_bytes_total"),
+            reclaimed: registry.counter("heapdrag_objects_reclaimed_total"),
+            at_exit: registry.counter("heapdrag_objects_at_exit_total"),
+            samples: registry.counter("heapdrag_deep_gc_samples_total"),
+            end_time: registry.gauge("heapdrag_end_time_bytes"),
+            ev_alloc: registry.counter("profiler_events_total{kind=\"alloc\"}"),
+            ev_free: registry.counter("profiler_events_total{kind=\"free\"}"),
+            ev_deep_gc: registry.counter("profiler_events_total{kind=\"deep_gc\"}"),
+            ev_exit: registry.counter("profiler_events_total{kind=\"exit\"}"),
+            ev_use: std::array::from_fn(|i| {
+                let kind = UseKind::ALL[i].name();
+                registry.counter(&format!("profiler_events_total{{kind=\"use_{kind}\"}}"))
+            }),
+        }
+    }
+}
+
 /// A drag profiler: attach to a [`Vm`] run (or use the
 /// [`profile`] convenience) and collect per-object records plus deep-GC
 /// samples.
@@ -27,6 +73,7 @@ pub struct DragProfiler {
     records: Vec<ObjectRecord>,
     samples: Vec<GcSample>,
     end_time: u64,
+    metrics: Option<ProfilerMetrics>,
 }
 
 impl DragProfiler {
@@ -35,14 +82,40 @@ impl DragProfiler {
         Self::default()
     }
 
+    /// Creates a profiler that publishes its event counts into `registry`.
+    pub fn with_metrics(registry: &Registry) -> Self {
+        DragProfiler {
+            metrics: Some(ProfilerMetrics::register(registry)),
+            ..Self::default()
+        }
+    }
+
     /// Consumes the profiler, yielding records and samples.
     pub fn into_parts(self) -> (Vec<ObjectRecord>, Vec<GcSample>) {
         (self.records, self.samples)
+    }
+
+    /// Counts a finished record — the single bookkeeping point both
+    /// [`HeapObserver::on_free`] and the defensive exit flush go through, so
+    /// every object ends up in exactly one of reclaimed / at-exit.
+    fn note_record(&self, record: &ObjectRecord) {
+        if let Some(m) = &self.metrics {
+            if record.at_exit {
+                m.at_exit.inc();
+            } else {
+                m.reclaimed.inc();
+            }
+        }
     }
 }
 
 impl HeapObserver for DragProfiler {
     fn on_alloc(&mut self, event: AllocEvent) {
+        if let Some(m) = &self.metrics {
+            m.created.inc();
+            m.alloc_bytes.add(event.size);
+            m.ev_alloc.inc();
+        }
         self.live.insert(
             event.object,
             Trailer {
@@ -62,6 +135,9 @@ impl HeapObserver for DragProfiler {
     }
 
     fn on_use(&mut self, event: UseEvent) {
+        if let Some(m) = &self.metrics {
+            m.ev_use[event.kind as usize].inc();
+        }
         if let Some(t) = self.live.get_mut(&event.object) {
             t.record.last_use = Some(event.time);
             t.record.last_use_site = Some(event.site);
@@ -69,14 +145,22 @@ impl HeapObserver for DragProfiler {
     }
 
     fn on_free(&mut self, event: FreeEvent) {
+        if let Some(m) = &self.metrics {
+            m.ev_free.inc();
+        }
         if let Some(mut t) = self.live.remove(&event.object) {
             t.record.freed = event.time;
             t.record.at_exit = event.at_exit;
+            self.note_record(&t.record);
             self.records.push(t.record);
         }
     }
 
     fn on_deep_gc(&mut self, event: GcEvent) {
+        if let Some(m) = &self.metrics {
+            m.samples.inc();
+            m.ev_deep_gc.inc();
+        }
         self.samples.push(GcSample {
             time: event.time,
             reachable_bytes: event.reachable_bytes,
@@ -86,6 +170,10 @@ impl HeapObserver for DragProfiler {
 
     fn on_exit(&mut self, time: u64) {
         self.end_time = time;
+        if let Some(m) = &self.metrics {
+            m.ev_exit.inc();
+            m.end_time.set(i64::try_from(time).unwrap_or(i64::MAX));
+        }
         // Any objects the VM did not report at exit (it normally reports
         // all survivors) are flushed defensively here.
         let leftovers: Vec<ObjectId> = self.live.keys().copied().collect();
@@ -93,6 +181,7 @@ impl HeapObserver for DragProfiler {
             let mut t = self.live.remove(&id).expect("key just listed");
             t.record.freed = time;
             t.record.at_exit = true;
+            self.note_record(&t.record);
             self.records.push(t.record);
         }
         self.records.sort_by_key(|r| r.object);
@@ -123,8 +212,31 @@ pub struct ProfileRun {
 ///
 /// Propagates any [`VmError`] from the run.
 pub fn profile(program: &Program, input: &[i64], config: VmConfig) -> Result<ProfileRun, VmError> {
-    let mut profiler = DragProfiler::new();
+    profile_with(program, input, config, None)
+}
+
+/// [`profile`], optionally publishing on-line metrics into `registry`:
+/// the VM family (`vm_*`, via [`Vm::attach_metrics`]) and the profiler
+/// family (`heapdrag_*`, `profiler_events_total{...}`, via
+/// [`DragProfiler::with_metrics`]).
+///
+/// # Errors
+///
+/// Propagates any [`VmError`] from the run.
+pub fn profile_with(
+    program: &Program,
+    input: &[i64],
+    config: VmConfig,
+    registry: Option<&Registry>,
+) -> Result<ProfileRun, VmError> {
+    let mut profiler = match registry {
+        Some(r) => DragProfiler::with_metrics(r),
+        None => DragProfiler::new(),
+    };
     let mut vm = Vm::new(program, config);
+    if let Some(r) = registry {
+        vm.attach_metrics(r);
+    }
     let outcome = vm.run_observed(input, &mut profiler)?;
     let (records, samples) = profiler.into_parts();
     Ok(ProfileRun {
@@ -221,6 +333,49 @@ mod tests {
         fine_cfg.deep_gc_interval = Some(25 * 1024);
         let fine = profile(&p, &[], fine_cfg).unwrap();
         assert!(fine.samples.len() > coarse.samples.len());
+    }
+
+    #[test]
+    fn metrics_reconcile_with_collected_records() {
+        let (p, _) = lifetime_program();
+        let registry = Registry::new();
+        let run = profile_with(&p, &[], VmConfig::profiling(), Some(&registry)).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["heapdrag_objects_created_total"],
+            run.records.len() as u64
+        );
+        assert_eq!(
+            snap.counters["heapdrag_alloc_bytes_total"],
+            run.records.iter().map(|r| r.size).sum::<u64>()
+        );
+        let at_exit = run.records.iter().filter(|r| r.at_exit).count() as u64;
+        assert_eq!(snap.counters["heapdrag_objects_at_exit_total"], at_exit);
+        assert_eq!(
+            snap.counters["heapdrag_objects_reclaimed_total"],
+            run.records.len() as u64 - at_exit
+        );
+        assert_eq!(
+            snap.counters["heapdrag_deep_gc_samples_total"],
+            run.samples.len() as u64
+        );
+        assert_eq!(
+            snap.gauges["heapdrag_end_time_bytes"],
+            run.outcome.end_time as i64
+        );
+        // VM-side counters agree with the outcome too.
+        let dispatch_total: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("vm_dispatch_total{"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(dispatch_total, run.outcome.steps);
+        assert_eq!(snap.counters["vm_deep_gc_total"], run.outcome.deep_gcs);
+        assert_eq!(
+            snap.counters["vm_heap_alloc_bytes_total"],
+            run.outcome.heap.allocated_bytes
+        );
     }
 
     #[test]

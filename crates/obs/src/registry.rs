@@ -1,0 +1,165 @@
+//! The metric registry: named handles, get-or-register semantics.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::snapshot::Snapshot;
+
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of named metrics.
+///
+/// Cloning a `Registry` yields another handle to the same collection, so
+/// it can be passed by value across layers without lifetimes. The internal
+/// mutex guards only registration and snapshotting — the returned handles
+/// update their values through lock-free relaxed atomics.
+///
+/// Names may embed Prometheus-style labels:
+/// `vm_dispatch_total{class="arith"}`. Keys sort lexicographically in
+/// every render, so output is byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type —
+    /// always a programming error, never data-dependent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every metric, with sorted keys.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Shorthand for `self.snapshot().render_json()`.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+
+    /// Shorthand for `self.snapshot().render_prometheus()`.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("hits").inc();
+        r.counter("hits").inc();
+        assert_eq!(r.snapshot().counters["hits"], 2);
+    }
+
+    #[test]
+    fn clones_share_the_collection() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.gauge("depth").set(5);
+        assert_eq!(r2.snapshot().gauges["depth"], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_has_sorted_keys() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let snap = r.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+    }
+}

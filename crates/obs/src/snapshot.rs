@@ -1,0 +1,230 @@
+//! Point-in-time metric snapshots and their two render formats.
+//!
+//! Both renders are **byte-stable**: keys come from `BTreeMap`s (sorted),
+//! every value is an integer, and the layout below is fixed. Golden tests
+//! in `tests/golden_render.rs` pin the exact bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time copy of every metric in a [`crate::Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by full metric name (labels embedded).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by full metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by full metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Escapes a metric name for use as a JSON string literal body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a full metric name into `(base, labels)` where `labels` is the
+/// text between the braces, e.g. `a{x="1"}` → `("a", Some("x=\"1\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) => {
+            let rest = &name[open..];
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or("");
+            (&name[..open], Some(inner))
+        }
+        None => (name, None),
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as pretty-printed JSON with sorted keys.
+    ///
+    /// Layout (fixed, diffable): one key per line under `"counters"` /
+    /// `"gauges"`, histogram objects on a single line as
+    /// `{"count": N, "sum": S, "buckets": [[bound, count], ...]}` where
+    /// `buckets` lists only non-empty buckets by ascending inclusive
+    /// upper bound. Ends with a newline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(out, "    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        let mut first = true;
+        for (name, v) in &self.gauges {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(out, "    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(name),
+                h.count,
+                h.sum
+            );
+            for (i, (bound, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{bound}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Series whose names embed labels (`base{key="v"}`) are grouped under
+    /// a single `# TYPE base ...` line. Histograms emit cumulative
+    /// `base_bucket{le="bound"}` lines at each non-empty inclusive bound
+    /// plus the conventional `le="+Inf"`, then `base_sum` and
+    /// `base_count`; embedded labels are merged ahead of `le`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let mut last_base: Option<String> = None;
+        for (name, v) in &self.counters {
+            let (base, _) = split_labels(name);
+            if last_base.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = Some(base.to_string());
+            }
+            let _ = writeln!(out, "{name} {v}");
+        }
+
+        let mut last_base: Option<String> = None;
+        for (name, v) in &self.gauges {
+            let (base, _) = split_labels(name);
+            if last_base.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                last_base = Some(base.to_string());
+            }
+            let _ = writeln!(out, "{name} {v}");
+        }
+
+        let mut last_base: Option<String> = None;
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            if last_base.as_deref() != Some(base) {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                last_base = Some(base.to_string());
+            }
+            let prefix = match labels {
+                Some(l) if !l.is_empty() => format!("{l},"),
+                _ => String::new(),
+            };
+            let mut cumulative = 0u64;
+            for (bound, n) in &h.buckets {
+                cumulative += n;
+                let _ = writeln!(out, "{base}_bucket{{{prefix}le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{base}_bucket{{{prefix}le=\"+Inf\"}} {}", h.count);
+            match labels {
+                Some(l) if !l.is_empty() => {
+                    let _ = writeln!(out, "{base}_sum{{{l}}} {}", h.sum);
+                    let _ = writeln!(out, "{base}_count{{{l}}} {}", h.count);
+                }
+                _ => {
+                    let _ = writeln!(out, "{base}_sum {}", h.sum);
+                    let _ = writeln!(out, "{base}_count {}", h.count);
+                }
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_labels_handles_both_forms() {
+        assert_eq!(split_labels("plain_total"), ("plain_total", None));
+        assert_eq!(
+            split_labels("vm_dispatch_total{class=\"arith\"}"),
+            ("vm_dispatch_total", Some("class=\"arith\""))
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_sections() {
+        let s = Snapshot::default();
+        assert_eq!(
+            s.render_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(s.render_prometheus(), "");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let mut s = Snapshot::default();
+        s.counters.insert("d{class=\"a\"}".to_string(), 1);
+        s.counters.insert("d{class=\"b\"}".to_string(), 2);
+        let prom = s.render_prometheus();
+        assert_eq!(prom.matches("# TYPE d counter").count(), 1);
+        assert!(prom.contains("d{class=\"a\"} 1\n"));
+        assert!(prom.contains("d{class=\"b\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "lat_us".to_string(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 12,
+                buckets: vec![(1, 2), (7, 1)],
+            },
+        );
+        let prom = s.render_prometheus();
+        assert!(prom.contains("lat_us_bucket{le=\"1\"} 2\n"));
+        assert!(prom.contains("lat_us_bucket{le=\"7\"} 3\n"));
+        assert!(prom.contains("lat_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(prom.contains("lat_us_sum 12\n"));
+        assert!(prom.contains("lat_us_count 3\n"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_in_names() {
+        let mut s = Snapshot::default();
+        s.counters.insert("d{class=\"a\"}".to_string(), 1);
+        assert!(s.render_json().contains("\"d{class=\\\"a\\\"}\": 1"));
+    }
+}

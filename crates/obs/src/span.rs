@@ -1,0 +1,76 @@
+//! Lightweight span timers: measure a scope, record into a histogram.
+
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// A running span timer. On drop (or [`Span::finish`]) the elapsed
+/// wall-clock is recorded into its histogram as integer microseconds.
+///
+/// ```
+/// use heapdrag_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let hist = registry.histogram("parse_us");
+/// {
+///     let _span = hist.start_span();
+///     // ... timed work ...
+/// } // recorded here
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn new(histogram: Histogram) -> Self {
+        Span {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span now, recording the elapsed time. Equivalent to
+    /// dropping it; provided so call sites can be explicit.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.observe_duration(self.start.elapsed());
+    }
+}
+
+/// Times `f`, recording its elapsed wall-clock into `histogram`.
+pub fn time<R>(histogram: &Histogram, f: impl FnOnce() -> R) -> R {
+    let _span = histogram.start_span();
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        h.start_span().finish();
+        drop(h.start_span());
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn time_passes_the_result_through() {
+        let h = Histogram::new();
+        let v = time(&h, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

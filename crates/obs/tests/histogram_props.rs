@@ -1,0 +1,111 @@
+//! Property tests for the log2 histogram, driven by `heapdrag-testkit`.
+//!
+//! Replay any failure with the printed `TESTKIT_SEED` / `TESTKIT_CASES`.
+
+use heapdrag_obs::histogram::{bucket_bound, bucket_index};
+use heapdrag_obs::{Histogram, NUM_BUCKETS};
+use heapdrag_testkit::{check, Rng};
+
+/// Samples spanning many bucket magnitudes, bounded below `2^32` so test
+/// sums never overflow `u64` even over thousands of observations.
+fn sample(rng: &mut Rng) -> u64 {
+    let bits = rng.range_u32(0, 33);
+    if bits == 0 {
+        0
+    } else {
+        rng.next_u64() >> (64 - bits)
+    }
+}
+
+#[test]
+fn bucket_counts_sum_to_sample_count_and_sum_is_exact() {
+    check("histogram-totals", 200, |rng| {
+        let samples = rng.vec(0, 64, sample);
+        let h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(
+            counts.iter().sum::<u64>(),
+            samples.len() as u64,
+            "bucket counts must sum to the observation count"
+        );
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>(), "sum is exact");
+        // Every sample landed in the bucket whose bound covers it.
+        for &v in &samples {
+            let i = bucket_index(v);
+            assert!(counts[i] > 0, "sample {v} missing from bucket {i}");
+            assert!(v <= bucket_bound(i), "{v} exceeds its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "{v} fits a lower bucket");
+            }
+        }
+    });
+}
+
+#[test]
+fn bucket_bounds_are_strictly_monotone() {
+    for i in 1..NUM_BUCKETS {
+        assert!(
+            bucket_bound(i - 1) < bucket_bound(i),
+            "bounds must strictly increase at {i}"
+        );
+    }
+    check("snapshot-bounds-monotone", 100, |rng| {
+        let h = Histogram::new();
+        for v in rng.vec(0, 64, sample) {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        for pair in snap.buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "snapshot bounds out of order");
+        }
+        assert!(
+            snap.buckets.iter().all(|&(_, n)| n > 0),
+            "snapshot lists only non-empty buckets"
+        );
+    });
+}
+
+#[test]
+fn merge_is_commutative() {
+    check("merge-commutes", 200, |rng| {
+        let xs = rng.vec(0, 48, sample);
+        let ys = rng.vec(0, 48, sample);
+        let build = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let ab = build(&xs);
+        ab.merge_from(&build(&ys));
+        let ba = build(&ys);
+        ba.merge_from(&build(&xs));
+        assert_eq!(
+            ab.snapshot(),
+            ba.snapshot(),
+            "merge(a, b) must equal merge(b, a)"
+        );
+        assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    });
+}
+
+#[test]
+fn identical_seeds_replay_identical_histograms() {
+    // The TESTKIT_SEED replay contract: the same seed drives the same
+    // sample stream, hence byte-identical snapshots.
+    let run = |seed: u64| {
+        let mut rng = Rng::new(seed);
+        let h = Histogram::new();
+        for v in rng.vec(32, 33, sample) {
+            h.observe(v);
+        }
+        h.snapshot()
+    };
+    assert_eq!(run(0xFEED), run(0xFEED));
+    assert_ne!(run(1), run(2), "distinct seeds should diverge");
+}

@@ -9,6 +9,8 @@
 //! references) and queued; the interpreter runs the finalizer and the *next*
 //! collection can reclaim it.
 
+use std::time::{Duration, Instant};
+
 use crate::heap::{Handle, Heap, Object};
 use crate::program::Program;
 use crate::value::Value;
@@ -27,6 +29,8 @@ pub struct CollectOutcome {
     /// Unreachable objects newly queued for finalization (resurrected until
     /// their finalizer runs).
     pub pending_finalizers: Vec<Handle>,
+    /// Wall-clock spent in the collection (pause-time accounting).
+    pub elapsed: Duration,
 }
 
 /// Result of a minor (nursery-only) collection.
@@ -38,6 +42,8 @@ pub struct MinorOutcome {
     pub freed_count: u64,
     /// Nursery survivors promoted to the old generation.
     pub promoted: u64,
+    /// Wall-clock spent in the collection (pause-time accounting).
+    pub elapsed: Duration,
 }
 
 fn trace_children(object: &Object, worklist: &mut Vec<Handle>) {
@@ -60,6 +66,7 @@ pub fn collect_full(
     roots: &[Handle],
     on_free: &mut dyn FnMut(&Object),
 ) -> CollectOutcome {
+    let start = Instant::now();
     let live = heap.live_handles();
     for &h in &live {
         if let Some(o) = heap.get_mut(h) {
@@ -125,6 +132,7 @@ pub fn collect_full(
     }
     heap.stats_mut().full_collections += 1;
     heap.remembered.clear();
+    outcome.elapsed = start.elapsed();
     outcome
 }
 
@@ -141,6 +149,7 @@ pub fn collect_minor(
     roots: &[Handle],
     on_free: &mut dyn FnMut(&Object),
 ) -> MinorOutcome {
+    let start = Instant::now();
     let live = heap.live_handles();
     for &h in &live {
         if let Some(o) = heap.get_mut(h) {
@@ -201,6 +210,7 @@ pub fn collect_minor(
         }
     }
     heap.stats_mut().minor_collections += 1;
+    outcome.elapsed = start.elapsed();
     outcome
 }
 

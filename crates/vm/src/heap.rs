@@ -103,6 +103,39 @@ pub struct HeapStats {
     pub traced_objects: u64,
 }
 
+impl HeapStats {
+    /// Publishes the totals into `registry` under `vm_heap_*` names.
+    ///
+    /// Counter values are *added*, so publish once per run; the peak is a
+    /// gauge (set, saturating at `i64::MAX`).
+    pub fn publish(&self, registry: &heapdrag_obs::Registry) {
+        registry
+            .counter("vm_heap_alloc_bytes_total")
+            .add(self.allocated_bytes);
+        registry
+            .counter("vm_heap_alloc_objects_total")
+            .add(self.allocated_objects);
+        registry
+            .counter("vm_heap_freed_bytes_total")
+            .add(self.freed_bytes);
+        registry
+            .counter("vm_heap_freed_objects_total")
+            .add(self.freed_objects);
+        registry
+            .counter("vm_heap_gc_full_total")
+            .add(self.full_collections);
+        registry
+            .counter("vm_heap_gc_minor_total")
+            .add(self.minor_collections);
+        registry
+            .counter("vm_heap_traced_objects_total")
+            .add(self.traced_objects);
+        registry
+            .gauge("vm_heap_peak_live_bytes")
+            .set(i64::try_from(self.peak_live_bytes).unwrap_or(i64::MAX));
+    }
+}
+
 /// The object heap.
 #[derive(Default)]
 pub struct Heap {

@@ -134,7 +134,122 @@ pub enum Insn {
     Nop,
 }
 
+/// A coarse grouping of opcodes for dispatch accounting.
+///
+/// The interpreter tallies one counter per class on every executed
+/// instruction (a plain array increment, no atomics), and flushes the
+/// tallies to `vm_dispatch_total{class="<name>"}` registry counters when a
+/// run ends. The classes partition [`Insn`]: every instruction belongs to
+/// exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpcodeClass {
+    /// Constants, stack shuffling, locals, and `nop`.
+    Stack,
+    /// Integer arithmetic.
+    Arith,
+    /// Comparisons and `instanceof`.
+    Compare,
+    /// Jumps and branches.
+    Control,
+    /// Heap allocation (`new`, `newarray`).
+    Alloc,
+    /// Instance field access.
+    Field,
+    /// Array element and length access.
+    Array,
+    /// Static variable access.
+    Static,
+    /// Direct and virtual calls.
+    Call,
+    /// Returns.
+    Ret,
+    /// Monitor enter/exit.
+    Monitor,
+    /// Exception throw.
+    Throw,
+    /// Program output.
+    Io,
+}
+
+impl OpcodeClass {
+    /// Number of opcode classes.
+    pub const COUNT: usize = 13;
+
+    /// Every class, in discriminant order.
+    pub const ALL: [OpcodeClass; OpcodeClass::COUNT] = [
+        OpcodeClass::Stack,
+        OpcodeClass::Arith,
+        OpcodeClass::Compare,
+        OpcodeClass::Control,
+        OpcodeClass::Alloc,
+        OpcodeClass::Field,
+        OpcodeClass::Array,
+        OpcodeClass::Static,
+        OpcodeClass::Call,
+        OpcodeClass::Ret,
+        OpcodeClass::Monitor,
+        OpcodeClass::Throw,
+        OpcodeClass::Io,
+    ];
+
+    /// The class name as used in metric labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpcodeClass::Stack => "stack",
+            OpcodeClass::Arith => "arith",
+            OpcodeClass::Compare => "compare",
+            OpcodeClass::Control => "control",
+            OpcodeClass::Alloc => "alloc",
+            OpcodeClass::Field => "field",
+            OpcodeClass::Array => "array",
+            OpcodeClass::Static => "static",
+            OpcodeClass::Call => "call",
+            OpcodeClass::Ret => "ret",
+            OpcodeClass::Monitor => "monitor",
+            OpcodeClass::Throw => "throw",
+            OpcodeClass::Io => "io",
+        }
+    }
+}
+
 impl Insn {
+    /// The instruction's [`OpcodeClass`] for dispatch accounting.
+    pub fn class(&self) -> OpcodeClass {
+        match self {
+            Insn::PushInt(_)
+            | Insn::PushNull
+            | Insn::Dup
+            | Insn::Pop
+            | Insn::Swap
+            | Insn::Load(_)
+            | Insn::Store(_)
+            | Insn::Nop => OpcodeClass::Stack,
+            Insn::Add | Insn::Sub | Insn::Mul | Insn::Div | Insn::Rem | Insn::Neg => {
+                OpcodeClass::Arith
+            }
+            Insn::CmpEq
+            | Insn::CmpNe
+            | Insn::CmpLt
+            | Insn::CmpLe
+            | Insn::CmpGt
+            | Insn::CmpGe
+            | Insn::InstanceOf(_) => OpcodeClass::Compare,
+            Insn::Jump(_) | Insn::Branch(_) | Insn::BranchIfNull(_) | Insn::BranchIfNotNull(_) => {
+                OpcodeClass::Control
+            }
+            Insn::New(_) | Insn::NewArray => OpcodeClass::Alloc,
+            Insn::GetField(_) | Insn::PutField(_) => OpcodeClass::Field,
+            Insn::ALoad | Insn::AStore | Insn::ArrayLen => OpcodeClass::Array,
+            Insn::GetStatic(_) | Insn::PutStatic(_) => OpcodeClass::Static,
+            Insn::Call(_) | Insn::CallVirtual { .. } => OpcodeClass::Call,
+            Insn::Ret | Insn::RetVal => OpcodeClass::Ret,
+            Insn::MonitorEnter | Insn::MonitorExit => OpcodeClass::Monitor,
+            Insn::Throw => OpcodeClass::Throw,
+            Insn::Print => OpcodeClass::Io,
+        }
+    }
+
     /// True if executing this instruction *may* record a heap use of some
     /// object (one of the five use events of the paper: getfield, putfield,
     /// method invocation on a receiver, monitor enter/exit, handle deref).
@@ -282,6 +397,20 @@ mod tests {
         assert!(!Insn::New(ClassId(0)).is_use());
         assert!(!Insn::Call(MethodId(0)).is_use());
         assert!(!Insn::InstanceOf(ClassId(0)).is_use());
+    }
+
+    #[test]
+    fn opcode_class_names_and_order_agree() {
+        for (i, class) in OpcodeClass::ALL.iter().enumerate() {
+            assert_eq!(*class as usize, i, "ALL must follow discriminant order");
+        }
+        let names: std::collections::HashSet<_> =
+            OpcodeClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), OpcodeClass::COUNT, "names must be distinct");
+        assert!((Insn::New(ClassId(0)).class()) == OpcodeClass::Alloc);
+        assert_eq!(Insn::Nop.class(), OpcodeClass::Stack);
+        assert_eq!(Insn::CmpLt.class(), OpcodeClass::Compare);
+        assert_eq!(Insn::Print.class(), OpcodeClass::Io);
     }
 
     #[test]

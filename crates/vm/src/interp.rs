@@ -6,7 +6,8 @@ use crate::error::VmError;
 use crate::gc::{collect_full, collect_minor};
 use crate::heap::{Handle, Heap, HeapStats};
 use crate::ids::{ClassId, MethodId, SiteId};
-use crate::insn::Insn;
+use crate::insn::{Insn, OpcodeClass};
+use crate::metrics::VmMetrics;
 use crate::observer::{
     AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, UseEvent, UseKind,
 };
@@ -141,6 +142,10 @@ pub struct Vm<'p> {
     next_minor_gc: u64,
     deep_gcs: u64,
     in_deep_gc: bool,
+    /// Always-on per-class dispatch tallies (plain array increment on the
+    /// hot path; flushed to registry counters at the end of a run).
+    dispatch: [u64; OpcodeClass::COUNT],
+    metrics: Option<VmMetrics>,
 }
 
 impl<'p> Vm<'p> {
@@ -160,7 +165,17 @@ impl<'p> Vm<'p> {
             next_minor_gc: u64::MAX,
             deep_gcs: 0,
             in_deep_gc: false,
+            dispatch: [0; OpcodeClass::COUNT],
+            metrics: None,
         }
+    }
+
+    /// Attaches a metric registry: instruction dispatch per opcode class,
+    /// GC pause histograms, deep-GC counts, and heap totals are published
+    /// into it (see [`VmMetrics::register`] for the metric names). Dispatch
+    /// tallies and heap totals land when a run finishes.
+    pub fn attach_metrics(&mut self, registry: &heapdrag_obs::Registry) {
+        self.metrics = Some(VmMetrics::register(registry));
     }
 
     /// The site table accumulated so far.
@@ -244,6 +259,11 @@ impl<'p> Vm<'p> {
         }
         observer.on_exit(end);
 
+        if let Some(metrics) = &self.metrics {
+            metrics.flush_dispatch(&self.dispatch);
+            self.heap.stats().publish(metrics.registry());
+        }
+
         Ok(RunOutcome {
             output: std::mem::take(&mut self.output),
             steps: self.steps,
@@ -265,6 +285,7 @@ impl<'p> Vm<'p> {
         self.steps = 0;
         self.deep_gcs = 0;
         self.in_deep_gc = false;
+        self.dispatch = [0; OpcodeClass::COUNT];
         self.next_deep_gc = self.config.deep_gc_interval.unwrap_or(u64::MAX);
         self.next_minor_gc = if self.config.generational {
             self.config.nursery_bytes
@@ -339,13 +360,16 @@ impl<'p> Vm<'p> {
             });
         });
         self.monitors.retain(|h, _| self.heap.get(*h).is_some());
+        if let Some(metrics) = &self.metrics {
+            metrics.on_full_gc(outcome.elapsed);
+        }
         outcome
     }
 
     fn minor_gc(&mut self, observer: &mut dyn HeapObserver) {
         let roots = self.roots();
         let time = self.heap.clock();
-        collect_minor(&mut self.heap, self.program, &roots, &mut |o| {
+        let outcome = collect_minor(&mut self.heap, self.program, &roots, &mut |o| {
             observer.on_free(FreeEvent {
                 object: o.id,
                 time,
@@ -353,6 +377,9 @@ impl<'p> Vm<'p> {
             });
         });
         self.monitors.retain(|h, _| self.heap.get(*h).is_some());
+        if let Some(metrics) = &self.metrics {
+            metrics.on_minor_gc(outcome.elapsed);
+        }
     }
 
     /// Deep GC: collect, run pending finalizers, collect again, sample.
@@ -375,6 +402,9 @@ impl<'p> Vm<'p> {
         }
         let second = self.full_gc(observer);
         self.deep_gcs += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.on_deep_gc();
+        }
         observer.on_deep_gc(GcEvent {
             time: self.heap.clock(),
             reachable_bytes: second.reachable_bytes,
@@ -603,6 +633,7 @@ impl<'p> Vm<'p> {
             }
         };
         self.frames.last_mut().expect("active frame").pc = insn_pc + 1;
+        self.dispatch[insn.class() as usize] += 1;
 
         macro_rules! throw_builtin {
             ($class:expr) => {{

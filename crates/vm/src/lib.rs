@@ -57,6 +57,7 @@ pub mod heap;
 pub mod ids;
 pub mod insn;
 pub mod interp;
+pub mod metrics;
 pub mod observer;
 pub mod program;
 pub mod site;
@@ -66,8 +67,9 @@ pub mod verify;
 pub use builder::ProgramBuilder;
 pub use error::VmError;
 pub use ids::{ChainId, ClassId, MethodId, ObjectId, SiteId, StaticId, VSlot};
-pub use insn::Insn;
+pub use insn::{Insn, OpcodeClass};
 pub use interp::{RunOutcome, Vm, VmConfig};
+pub use metrics::VmMetrics;
 pub use observer::{HeapObserver, UseKind};
 pub use program::Program;
 pub use value::Value;

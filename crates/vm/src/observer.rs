@@ -36,6 +36,18 @@ impl UseKind {
         UseKind::MonitorExit,
         UseKind::HandleDeref,
     ];
+
+    /// A lowercase stable name, used in metric labels and log rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UseKind::GetField => "getfield",
+            UseKind::PutField => "putfield",
+            UseKind::Invoke => "invoke",
+            UseKind::MonitorEnter => "monitorenter",
+            UseKind::MonitorExit => "monitorexit",
+            UseKind::HandleDeref => "handlederef",
+        }
+    }
 }
 
 /// An object was allocated.

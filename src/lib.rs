@@ -15,7 +15,11 @@
 //! * [`transform`] — the three mechanical rewritings (assign-null,
 //!   dead-code removal, lazy allocation) and the profile-guided optimizer;
 //! * [`workloads`] — the nine-benchmark evaluation suite;
-//! * [`lang`] — a typed mini-Java front end compiling to the VM.
+//! * [`lang`] — a typed mini-Java front end compiling to the VM;
+//! * [`obs`] — zero-dependency observability (counters, gauges, log2
+//!   histograms, span timers) behind a registry that renders Prometheus
+//!   text and stable JSON; both pipeline phases publish into it and the
+//!   CLI dumps a snapshot via `--metrics-out`.
 //!
 //! ## Quick start
 //!
@@ -59,6 +63,7 @@
 pub use heapdrag_analysis as analysis;
 pub use heapdrag_core as core;
 pub use heapdrag_lang as lang;
+pub use heapdrag_obs as obs;
 pub use heapdrag_transform as transform;
 pub use heapdrag_vm as vm;
 pub use heapdrag_workloads as workloads;

@@ -11,12 +11,16 @@
 //!
 //! `--shards N` runs the off-line phase (log decoding and per-site
 //! aggregation) on N worker threads; the report is byte-identical to the
-//! sequential one, and per-shard timings are printed to stderr.
+//! sequential one. `--verbose-metrics` prints per-shard timings to stderr,
+//! and `--metrics-out <path>` writes a metrics snapshot of whichever phase
+//! ran — stable JSON by default, Prometheus text if the path ends in
+//! `.prom`.
 
 use std::process::ExitCode;
 
 use heapdrag::core::log::{parse_log_sharded, write_log};
-use heapdrag::core::{profile, render, DragAnalyzer, ParallelConfig, Timeline, VmConfig};
+use heapdrag::core::{profile_with, render, DragAnalyzer, ParallelConfig, Timeline, VmConfig};
+use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
 use heapdrag::vm::disasm::disassemble;
@@ -31,6 +35,11 @@ const USAGE: &str = "usage:
   heapdrag timeline <prog> [input ints...]
   heapdrag optimize <prog> -o <out.hdasm> [input ints...]
 
+common flags:
+  --metrics-out <path>   write a metrics snapshot on exit (JSON; Prometheus
+                         text format if <path> ends in .prom)
+  --verbose-metrics      print per-shard parse/analyze timings to stderr
+
 <prog> is either bytecode assembly (.hdasm) or mini-Java source (.hdj).";
 
 struct Args {
@@ -39,6 +48,8 @@ struct Args {
     interval_kb: Option<u64>,
     top: usize,
     parallel: ParallelConfig,
+    metrics_out: Option<String>,
+    verbose_metrics: bool,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -48,6 +59,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         interval_kb: None,
         top: 10,
         parallel: ParallelConfig::sequential(),
+        metrics_out: None,
+        verbose_metrics: false,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -71,25 +84,41 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--chunk-records needs a number")?;
                 args.parallel.chunk_records = v.parse().map_err(|_| "bad --chunk-records")?;
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            "--verbose-metrics" => {
+                args.verbose_metrics = true;
+            }
             other => args.positional.push(other.to_string()),
         }
     }
     Ok(args)
 }
 
-/// Parses and analyzes a log file under the configured sharding, printing
-/// per-shard instrumentation to stderr when more than one shard is in play.
+/// Parses and analyzes a log file under the configured sharding. Stage
+/// instrumentation goes into `registry` (when one is attached via
+/// `--metrics-out`) and is printed to stderr only under
+/// `--verbose-metrics`.
 fn analyze_log_file(
     path: &str,
     parallel: &ParallelConfig,
+    registry: Option<&Registry>,
+    verbose: bool,
 ) -> Result<(heapdrag::core::log::ParsedLog, heapdrag::core::DragReport), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let (parsed, parse_metrics) = parse_log_sharded(&text, parallel).map_err(|e| e.to_string())?;
     let (report, analyze_metrics) =
         DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), parallel);
-    if parallel.shards > 1 {
+    if verbose {
         eprint!("{}", parse_metrics.render("parse"));
         eprint!("{}", analyze_metrics.render("analyze"));
+    }
+    if let Some(registry) = registry {
+        parse_metrics.publish("parse", registry);
+        analyze_metrics.publish("analyze", registry);
+        parsed.publish_metrics(registry);
+        report.publish_metrics(registry);
     }
     Ok((parsed, report))
 }
@@ -115,6 +144,7 @@ fn run_main() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().ok_or(USAGE)?;
     let args = parse_args(&raw[1..])?;
+    let registry = args.metrics_out.as_ref().map(|_| Registry::new());
     let config = {
         let mut c = VmConfig::profiling();
         if let Some(kb) = args.interval_kb {
@@ -128,9 +158,11 @@ fn run_main() -> Result<(), String> {
             let prog_path = args.positional.first().ok_or(USAGE)?;
             let program = load_program(prog_path)?;
             let input = input_ints(&args.positional[1..])?;
-            let outcome = Vm::new(&program, RawConfig::default())
-                .run(&input)
-                .map_err(|e| e.to_string())?;
+            let mut vm = Vm::new(&program, RawConfig::default());
+            if let Some(r) = &registry {
+                vm.attach_metrics(r);
+            }
+            let outcome = vm.run(&input).map_err(|e| e.to_string())?;
             for v in &outcome.output {
                 println!("{v}");
             }
@@ -144,7 +176,8 @@ fn run_main() -> Result<(), String> {
             let out = args.output.as_deref().ok_or("profile needs -o <log>")?;
             let program = load_program(prog_path)?;
             let input = input_ints(&args.positional[1..])?;
-            let run = profile(&program, &input, config).map_err(|e| e.to_string())?;
+            let run =
+                profile_with(&program, &input, config, registry.as_ref()).map_err(|e| e.to_string())?;
             std::fs::write(out, write_log(&run, &program)).map_err(|e| e.to_string())?;
             eprintln!(
                 "profiled: {} objects, {} deep GCs, end time {} bytes -> {out}",
@@ -167,7 +200,12 @@ fn run_main() -> Result<(), String> {
         }
         "report" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
-            let (parsed, report) = analyze_log_file(log_path, &args.parallel)?;
+            let (parsed, report) = analyze_log_file(
+                log_path,
+                &args.parallel,
+                registry.as_ref(),
+                args.verbose_metrics,
+            )?;
             print!("{}", render(&report, &parsed, args.top));
         }
         "inspect" => {
@@ -178,7 +216,12 @@ fn run_main() -> Result<(), String> {
                 .ok_or("inspect needs a site rank (1 = highest drag)")?
                 .parse()
                 .map_err(|_| "bad rank")?;
-            let (parsed, report) = analyze_log_file(log_path, &args.parallel)?;
+            let (parsed, report) = analyze_log_file(
+                log_path,
+                &args.parallel,
+                registry.as_ref(),
+                args.verbose_metrics,
+            )?;
             let entry = report
                 .by_nested_site
                 .get(rank.saturating_sub(1))
@@ -198,7 +241,8 @@ fn run_main() -> Result<(), String> {
             let prog_path = args.positional.first().ok_or(USAGE)?;
             let program = load_program(prog_path)?;
             let input = input_ints(&args.positional[1..])?;
-            let run = profile(&program, &input, config).map_err(|e| e.to_string())?;
+            let run =
+                profile_with(&program, &input, config, registry.as_ref()).map_err(|e| e.to_string())?;
             let timeline = Timeline::from_run(&run);
             print!("{}", timeline.ascii_chart(12));
         }
@@ -241,6 +285,16 @@ fn run_main() -> Result<(), String> {
             println!("{USAGE}");
         }
         other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+
+    if let (Some(path), Some(registry)) = (&args.metrics_out, &registry) {
+        let rendered = if path.ends_with(".prom") {
+            registry.render_prometheus()
+        } else {
+            registry.render_json()
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("metrics snapshot -> {path}");
     }
     Ok(())
 }

@@ -1,0 +1,196 @@
+//! The differential metrics oracle: the on-line phase's reconciliation
+//! counters (published by the profiler while the VM runs) must agree
+//! *exactly* with the counters the off-line phase re-derives from the log
+//! file — and the off-line side must publish the same numbers for every
+//! shard count, because `parse_log_sharded` is deterministic.
+//!
+//! Any drift here means an event was double-counted, dropped, or counted
+//! on a hot path that races the observer — exactly the bugs a metrics
+//! layer exists to catch.
+
+use heapdrag::core::log::{parse_log_sharded, write_log};
+use heapdrag::core::{profile_with, DragAnalyzer, ParallelConfig, VmConfig};
+use heapdrag::obs::{Registry, Snapshot};
+use heapdrag::vm::{OpcodeClass, SiteId};
+use heapdrag::workloads::workload_by_name;
+
+/// The counters both phases publish under identical names.
+const RECONCILED_COUNTERS: [&str; 5] = [
+    "heapdrag_objects_created_total",
+    "heapdrag_alloc_bytes_total",
+    "heapdrag_objects_reclaimed_total",
+    "heapdrag_objects_at_exit_total",
+    "heapdrag_deep_gc_samples_total",
+];
+
+const END_TIME_GAUGE: &str = "heapdrag_end_time_bytes";
+
+/// Workloads exercised by the oracle: one collection-heavy benchmark
+/// (`jess`), one with large at-exit residue (`jack`), and one
+/// allocation-site-diverse one (`juru`).
+const WORKLOADS: [&str; 3] = ["jess", "jack", "juru"];
+
+fn reconciled(snapshot: &Snapshot) -> Vec<(String, i64)> {
+    let mut out: Vec<(String, i64)> = RECONCILED_COUNTERS
+        .iter()
+        .map(|&k| {
+            let v = *snapshot
+                .counters
+                .get(k)
+                .unwrap_or_else(|| panic!("snapshot is missing counter `{k}`"));
+            (k.to_string(), i64::try_from(v).unwrap())
+        })
+        .collect();
+    let end = *snapshot
+        .gauges
+        .get(END_TIME_GAUGE)
+        .unwrap_or_else(|| panic!("snapshot is missing gauge `{END_TIME_GAUGE}`"));
+    out.push((END_TIME_GAUGE.to_string(), end));
+    out
+}
+
+/// Runs the off-line phase over `log_text` with `shards` workers into a
+/// fresh registry, publishing everything the CLI's `report` command would.
+fn offline_snapshot(log_text: &str, shards: usize) -> Snapshot {
+    let registry = Registry::new();
+    let parallel = ParallelConfig::with_shards(shards);
+    let (parsed, parse_metrics) = parse_log_sharded(log_text, &parallel).expect("log parses");
+    let (report, analyze_metrics) =
+        DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), &parallel);
+    parse_metrics.publish("parse", &registry);
+    analyze_metrics.publish("analyze", &registry);
+    parsed.publish_metrics(&registry);
+    report.publish_metrics(&registry);
+    registry.snapshot()
+}
+
+#[test]
+fn online_metrics_reconcile_with_offline_for_every_workload_and_shard_count() {
+    for name in WORKLOADS {
+        let w = workload_by_name(name).expect("workload exists");
+        let program = w.original();
+        let input = (w.default_input)();
+
+        let online = Registry::new();
+        let run = profile_with(&program, &input, VmConfig::profiling(), Some(&online))
+            .expect("profiles");
+        let online_snap = online.snapshot();
+        let want = reconciled(&online_snap);
+
+        // The on-line counters agree with the run itself.
+        assert!(
+            run.outcome.deep_gcs > 0,
+            "{name}: workload too small to exercise deep GC sampling"
+        );
+        assert_eq!(
+            online_snap.counters["heapdrag_objects_created_total"],
+            run.records.len() as u64,
+            "{name}: created == records"
+        );
+        assert_eq!(
+            online_snap.counters["heapdrag_deep_gc_samples_total"],
+            run.samples.len() as u64,
+            "{name}: samples counter == sample list"
+        );
+
+        let log_text = write_log(&run, &program);
+        for shards in [1usize, 4, 7] {
+            let offline_snap = offline_snapshot(&log_text, shards);
+            let got = reconciled(&offline_snap);
+            assert_eq!(
+                want, got,
+                "{name}: off-line metrics at --shards {shards} must reconcile with on-line"
+            );
+        }
+    }
+}
+
+#[test]
+fn offline_reconcilable_surface_is_shard_invariant() {
+    // Beyond matching the on-line side, every non-timing off-line metric
+    // (counts, group sizes, report gauges) must be identical across shard
+    // counts. Timing metrics (`*_us` histograms/gauges) are wall-clock and
+    // are excluded.
+    let w = workload_by_name("jess").expect("workload exists");
+    let run = profile_with(
+        &w.original(),
+        &(w.default_input)(),
+        VmConfig::profiling(),
+        None,
+    )
+    .expect("profiles");
+    let log_text = write_log(&run, &w.original());
+
+    let stable = |snap: &Snapshot| -> Vec<(String, i64)> {
+        let mut out: Vec<(String, i64)> = Vec::new();
+        for (k, v) in &snap.counters {
+            // Shard/chunk counts — and per-shard *touched-group* counts,
+            // where a group spanning two shards is counted twice —
+            // legitimately differ with the worker count; record and
+            // sample totals must not.
+            if k.ends_with("_shards_total") || k.ends_with("_groups_total") {
+                continue;
+            }
+            out.push((k.clone(), i64::try_from(*v).unwrap()));
+        }
+        for (k, v) in &snap.gauges {
+            if k.ends_with("_us") {
+                continue;
+            }
+            out.push((k.clone(), *v));
+        }
+        out
+    };
+
+    let baseline = offline_snapshot(&log_text, 1);
+    let want = stable(&baseline);
+    assert!(
+        !want.is_empty(),
+        "stable surface should contain reconciliation and report metrics"
+    );
+    for shards in [4usize, 7] {
+        let got = stable(&offline_snapshot(&log_text, shards));
+        assert_eq!(want, got, "--shards {shards} changed a non-timing metric");
+    }
+}
+
+#[test]
+fn vm_level_metrics_agree_with_run_outcome() {
+    let w = workload_by_name("juru").expect("workload exists");
+    let registry = Registry::new();
+    let run = profile_with(
+        &w.original(),
+        &(w.default_input)(),
+        VmConfig::profiling(),
+        Some(&registry),
+    )
+    .expect("profiles");
+    let snap = registry.snapshot();
+
+    let dispatch_total: u64 = OpcodeClass::ALL
+        .iter()
+        .filter_map(|c| {
+            snap.counters
+                .get(&format!("vm_dispatch_total{{class=\"{}\"}}", c.name()))
+        })
+        .sum();
+    assert_eq!(
+        dispatch_total, run.outcome.steps,
+        "per-class dispatch counters must sum to the step count"
+    );
+    assert_eq!(
+        snap.counters["vm_deep_gc_total"],
+        run.outcome.deep_gcs,
+        "deep-GC counter matches the outcome"
+    );
+    assert_eq!(
+        snap.counters["vm_heap_alloc_bytes_total"],
+        run.outcome.heap.allocated_bytes,
+        "allocated-bytes counter matches the heap stats"
+    );
+    assert_eq!(
+        snap.counters["vm_heap_alloc_objects_total"],
+        run.outcome.heap.allocated_objects,
+        "allocated-objects counter matches the heap stats"
+    );
+}
