@@ -7,10 +7,15 @@
 #   1. release build of the whole workspace
 #   2. full test suite (unit + integration + testkit property tests)
 #   3. clippy with warnings denied
-#   4. a smoke run of the two-phase tool, sequential and sharded, checking
+#   4. rustdoc with warnings denied (every public item stays documented)
+#   5. a smoke run of the two-phase tool, sequential and sharded, checking
 #      that the sharded report is byte-identical to the sequential one
-#   5. a metrics smoke: both phases write --metrics-out snapshots and the
+#   6. a metrics smoke: both phases write --metrics-out snapshots and the
 #      jq-free metrics_check example verifies they reconcile exactly
+#   7. a salvage smoke: a generated log truncated at three offsets must
+#      fail strict parsing with a stable E0xx code, succeed under
+#      --salvage, and render footers byte-identical to the committed
+#      golden (tests/golden/salvage_smoke.txt)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,6 +29,9 @@ cargo test -q --workspace
 
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== smoke: two-phase tool =="
 tmp="$(mktemp -d)"
@@ -57,5 +65,29 @@ echo "== smoke: metrics reconciliation =="
 grep -q '^# TYPE heapdrag_objects_created_total counter' "$tmp/offline.prom"
 cargo run -q --release --example metrics_check -- \
     "$tmp/online.json" "$tmp/offline.json"
+
+echo "== smoke: salvage ingestion =="
+# Truncate the (deterministic) smoke log at three byte offsets. Strict
+# parsing must reject every prefix with a stable E0xx code; salvage must
+# ingest it, and the three summary footers must match the committed
+# golden byte for byte.
+size=$(wc -c < "$tmp/smoke.log")
+: > "$tmp/salvage-footers.txt"
+for pct in 40 60 85; do
+    head -c $(( size * pct / 100 )) "$tmp/smoke.log" > "$tmp/cut.log"
+    if "$bin" report "$tmp/cut.log" --top 5 > /dev/null 2> "$tmp/strict-err.txt"; then
+        echo "strict parsing accepted a truncated log (${pct}%)" >&2
+        exit 1
+    fi
+    grep -qE '\[E0[0-9]{2}\]' "$tmp/strict-err.txt" || {
+        echo "strict failure lacks a stable error code (${pct}%):" >&2
+        cat "$tmp/strict-err.txt" >&2
+        exit 1
+    }
+    echo "### truncated at ${pct}%" >> "$tmp/salvage-footers.txt"
+    "$bin" report "$tmp/cut.log" --top 5 --salvage --shards 3 \
+        | sed -n '/^--- salvage summary ---$/,$p' >> "$tmp/salvage-footers.txt"
+done
+diff -u tests/golden/salvage_smoke.txt "$tmp/salvage-footers.txt"
 
 echo "== ok =="

@@ -28,6 +28,11 @@
 //! [`parallel`] for the [`ParallelConfig`] knobs and the determinism
 //! argument (reports are byte-identical for every shard count).
 //!
+//! Logs from crashed, killed, or out-of-disk runs can still be analyzed:
+//! [`ingest_log`] in salvage mode drops what cannot be decoded, repairs a
+//! missing end-of-log marker, and reports a [`SalvageSummary`]; see
+//! [`log`] for the stable [`ErrorCode`] taxonomy.
+//!
 //! ```
 //! use heapdrag_core::{profile, DragAnalyzer, VmConfig};
 //! use heapdrag_vm::ProgramBuilder;
@@ -70,6 +75,10 @@ pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
 pub use compare::SavingsReport;
 pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
+pub use log::{
+    ingest_log, parse_log, parse_log_sharded, write_log, ErrorCode, IngestConfig, IngestMode,
+    Ingested, LogError, ParsedLog, SalvageSummary,
+};
 pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
 pub use profiler::{profile, profile_with, DragProfiler, ProfileRun, ProfilerMetrics};

@@ -7,16 +7,38 @@
 //!
 //! ```text
 //! heapdrag-log v1
-//! end 1048576
 //! chain 3 Juru.readDocument@12 "new char[]" <- Juru.run@4
 //! obj 17 8 816 1024 204800 2048 3 5 0
 //! gc 102400 81920 512
+//! end 1048576
 //! ```
 //!
 //! An `obj` line is `id class size created freed last_use alloc_chain
-//! use_chain at_exit`, with `-` for absent optional fields.
+//! use_chain at_exit`, with `-` for absent optional fields. The `end`
+//! directive is accepted anywhere but written **last** by the profiler's
+//! exit path, so it doubles as the end-of-log marker: a log without it was
+//! torn mid-write by a crash, a kill, or a full disk.
+//!
+//! # Fault-tolerant ingestion
+//!
+//! Real traces come from runs that crashed, were killed, or hit `ENOSPC`,
+//! and lifetime measurements remain meaningful on the surviving prefix.
+//! [`ingest_log`] therefore supports two [`IngestMode`]s:
+//!
+//! * **Strict** (the default, and every `parse_log*` entry point): the
+//!   first malformed line aborts the parse with a [`LogError`] carrying a
+//!   stable [`ErrorCode`], the 1-based line number, and the byte offset of
+//!   the line.
+//! * **Salvage**: malformed or torn lines are dropped and counted, exact
+//!   duplicate records are collapsed, and a missing `end` marker is
+//!   repaired by synthesizing the exit time from the latest event
+//!   observed. The accompanying [`SalvageSummary`] reports exactly what
+//!   was kept, dropped, and repaired, and renders as the report footer.
+//!
+//! Both modes run under the same sharded decoder and produce results that
+//! are byte-identical for every shard count (see [`crate::parallel`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -29,22 +51,322 @@ use crate::profiler::ProfileRun;
 use crate::record::{GcSample, ObjectRecord};
 use crate::report::ChainNamer;
 
-/// A malformed log line.
+/// Stable, machine-readable codes for everything that can go wrong while
+/// ingesting a phase-1 log.
+///
+/// The numeric codes are part of the tool's interface (scripts grep for
+/// them, CI pins them, the troubleshooting table in the README maps them
+/// to fixes) and must never be renumbered.
+///
+/// | code | name | meaning | strict | salvage |
+/// |------|------|---------|--------|---------|
+/// | `E001` | `empty-log` | the file has no bytes at all | fatal | fatal |
+/// | `E002` | `bad-header` | line 1 is not `heapdrag-log v1` | error | line dropped |
+/// | `E003` | `unknown-directive` | a line starts with an unknown word | error | line dropped |
+/// | `E004` | `missing-field` | an `obj`/`gc`/`end`/`chain` line is short | error | line dropped |
+/// | `E005` | `bad-field-value` | a field does not parse as its type | error | line dropped |
+/// | `E006` | `missing-end-marker` | no `end` directive — log truncated | error | exit time synthesized |
+/// | `E007` | `torn-tail` | final line has no terminator — torn write | error | final line dropped |
+/// | `E008` | `too-many-errors` | salvage exceeded its `--max-errors` bound | — | fatal |
+/// | `E009` | `duplicate-record` | a record/sample appears twice | undetected | duplicate collapsed |
+/// | `E010` | `worker-lost` | a parse worker panicked; its chunks are gone | error | chunks dropped |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// `E001`: the input has no bytes at all. Fatal in both modes — there
+    /// is nothing to salvage.
+    EmptyLog,
+    /// `E002`: the first line is not the `heapdrag-log v1` header.
+    BadHeader,
+    /// `E003`: a line starts with a word other than
+    /// `end`/`chain`/`obj`/`gc`.
+    UnknownDirective,
+    /// `E004`: a directive line ends before all its fields.
+    MissingField,
+    /// `E005`: a field is present but does not parse as its type.
+    BadFieldValue,
+    /// `E006`: the log has no `end` directive — the run was cut short
+    /// before the exit path could write the end-of-log marker.
+    MissingEndMarker,
+    /// `E007`: the final line has no `\n` terminator — the classic torn
+    /// write of a crashed or out-of-disk run.
+    TornTail,
+    /// `E008`: salvage mode found more errors than
+    /// [`IngestConfig::max_errors`] allows.
+    TooManyErrors,
+    /// `E009`: the same object record (by id) or an identical deep-GC
+    /// sample appears more than once, e.g. from a replayed write buffer.
+    DuplicateRecord,
+    /// `E010`: a parse worker thread panicked and the chunks it had
+    /// claimed were lost. Other workers' chunks are unaffected.
+    WorkerLost,
+}
+
+impl ErrorCode {
+    /// Every code, in numeric order.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::EmptyLog,
+        ErrorCode::BadHeader,
+        ErrorCode::UnknownDirective,
+        ErrorCode::MissingField,
+        ErrorCode::BadFieldValue,
+        ErrorCode::MissingEndMarker,
+        ErrorCode::TornTail,
+        ErrorCode::TooManyErrors,
+        ErrorCode::DuplicateRecord,
+        ErrorCode::WorkerLost,
+    ];
+
+    /// The stable `E0xx` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::EmptyLog => "E001",
+            ErrorCode::BadHeader => "E002",
+            ErrorCode::UnknownDirective => "E003",
+            ErrorCode::MissingField => "E004",
+            ErrorCode::BadFieldValue => "E005",
+            ErrorCode::MissingEndMarker => "E006",
+            ErrorCode::TornTail => "E007",
+            ErrorCode::TooManyErrors => "E008",
+            ErrorCode::DuplicateRecord => "E009",
+            ErrorCode::WorkerLost => "E010",
+        }
+    }
+
+    /// A short kebab-case name for footers and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::EmptyLog => "empty-log",
+            ErrorCode::BadHeader => "bad-header",
+            ErrorCode::UnknownDirective => "unknown-directive",
+            ErrorCode::MissingField => "missing-field",
+            ErrorCode::BadFieldValue => "bad-field-value",
+            ErrorCode::MissingEndMarker => "missing-end-marker",
+            ErrorCode::TornTail => "torn-tail",
+            ErrorCode::TooManyErrors => "too-many-errors",
+            ErrorCode::DuplicateRecord => "duplicate-record",
+            ErrorCode::WorkerLost => "worker-lost",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A malformed or unsalvageable log, with enough context to find the bad
+/// bytes: the stable [`ErrorCode`], the 1-based line number, the byte
+/// offset of the line start, and — when the line was decoded on a worker —
+/// the parse-chunk index.
+///
+/// See [`ErrorCode`] for the full code table and the strict/salvage
+/// behaviour of each code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogError {
-    /// 1-based line number.
+    /// What went wrong, as a stable code.
+    pub code: ErrorCode,
+    /// 1-based line number (0 for whole-file conditions such as `E008`).
     pub line: usize,
+    /// Byte offset of the start of the offending line.
+    pub byte: u64,
+    /// Index of the parse chunk that decoded the line, when sharded.
+    pub chunk: Option<usize>,
     /// Problem description.
     pub message: String,
 }
 
+impl LogError {
+    fn new(code: ErrorCode, line: usize, message: String) -> Self {
+        LogError {
+            code,
+            line,
+            byte: 0,
+            chunk: None,
+            message,
+        }
+    }
+}
+
 impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "log line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "log line {} (byte {}) [{}]: {}",
+            self.line, self.byte, self.code, self.message
+        )
     }
 }
 
 impl Error for LogError {}
+
+/// How [`ingest_log`] treats malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Abort at the first malformed line — the historical `parse_log`
+    /// behaviour, and the right default when a log is expected to be
+    /// complete.
+    #[default]
+    Strict,
+    /// Keep going: drop what cannot be decoded, collapse duplicates,
+    /// synthesize a missing exit time, and report it all in the
+    /// [`SalvageSummary`].
+    Salvage,
+}
+
+/// Ingestion knobs: the [`IngestMode`] plus the salvage error budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestConfig {
+    /// Strict or salvage.
+    pub mode: IngestMode,
+    /// In salvage mode, abort with [`ErrorCode::TooManyErrors`] once more
+    /// than this many errors (dropped lines, repairs, and collapsed
+    /// duplicates combined) have accumulated. `None` means unbounded.
+    pub max_errors: Option<u64>,
+}
+
+impl IngestConfig {
+    /// The strict configuration (the [`Default`]).
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Unbounded salvage.
+    pub fn salvage() -> Self {
+        IngestConfig {
+            mode: IngestMode::Salvage,
+            max_errors: None,
+        }
+    }
+
+    /// True when the mode is [`IngestMode::Salvage`].
+    pub fn is_salvage(&self) -> bool {
+        self.mode == IngestMode::Salvage
+    }
+}
+
+/// How many leading errors a [`SalvageSummary`] retains verbatim for
+/// display; the rest are only counted in the histogram.
+pub const FIRST_ERRORS_CAP: usize = 5;
+
+/// What salvage kept, dropped, and repaired — threaded from [`ingest_log`]
+/// through the analyzer to the report footer and the
+/// `heapdrag_salvage_*` metrics.
+///
+/// Identical for every shard count: drops are decided per line, duplicates
+/// are collapsed in input order at the sequential merge, and the error
+/// histogram is keyed by stable [`ErrorCode`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageSummary {
+    /// True when the ingest ran in salvage mode (a strict ingest returns
+    /// an all-zero summary).
+    pub salvage: bool,
+    /// Object records in the returned [`ParsedLog`].
+    pub records_kept: u64,
+    /// Deep-GC samples in the returned [`ParsedLog`].
+    pub samples_kept: u64,
+    /// Input lines dropped because they could not be decoded.
+    pub lines_dropped: u64,
+    /// Bytes of input skipped by those drops (terminators included).
+    pub bytes_skipped: u64,
+    /// Parsed records/samples collapsed as exact duplicates (`E009`).
+    pub duplicates_dropped: u64,
+    /// True when the `end` marker was missing and the exit time was
+    /// synthesized from the latest observed event (`E006`).
+    pub synthesized_end: bool,
+    /// Error histogram: how many times each code fired.
+    pub errors_by_code: BTreeMap<ErrorCode, u64>,
+    /// The first [`FIRST_ERRORS_CAP`] errors in line order, verbatim.
+    pub first_errors: Vec<LogError>,
+}
+
+impl SalvageSummary {
+    /// Total errors across the histogram (drops, repairs, duplicates).
+    pub fn total_errors(&self) -> u64 {
+        self.errors_by_code.values().sum()
+    }
+
+    /// True when nothing was dropped, collapsed, or repaired.
+    pub fn is_clean(&self) -> bool {
+        self.total_errors() == 0
+    }
+
+    /// The report footer: a stable, diffable rendering of the summary —
+    /// the exact text `heapdrag report --salvage` appends to its output
+    /// and CI diffs against a golden copy.
+    pub fn render_footer(&self) -> String {
+        let mut out = String::from("--- salvage summary ---\n");
+        out.push_str(&format!(
+            "mode:               {}\n",
+            if self.salvage { "salvage" } else { "strict" }
+        ));
+        out.push_str(&format!("records kept:       {}\n", self.records_kept));
+        out.push_str(&format!("samples kept:       {}\n", self.samples_kept));
+        out.push_str(&format!("lines dropped:      {}\n", self.lines_dropped));
+        out.push_str(&format!("bytes skipped:      {}\n", self.bytes_skipped));
+        out.push_str(&format!(
+            "duplicates dropped: {}\n",
+            self.duplicates_dropped
+        ));
+        out.push_str(&format!(
+            "end marker:         {}\n",
+            if self.synthesized_end {
+                "synthesized"
+            } else {
+                "present"
+            }
+        ));
+        if !self.errors_by_code.is_empty() {
+            out.push_str("errors by code:\n");
+            for (code, n) in &self.errors_by_code {
+                out.push_str(&format!(
+                    "  {} {:<20} {}\n",
+                    code,
+                    code.name(),
+                    n
+                ));
+            }
+        }
+        if !self.first_errors.is_empty() {
+            out.push_str("first errors:\n");
+            for e in &self.first_errors {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
+        out
+    }
+
+    /// Publishes the summary as the `heapdrag_salvage_*` metric family:
+    /// kept/dropped/skipped totals as counters, the end-marker repair as a
+    /// 0/1 gauge, and the histogram as
+    /// `heapdrag_salvage_errors_total{code="E0xx"}` series.
+    pub fn publish_metrics(&self, registry: &heapdrag_obs::Registry) {
+        registry
+            .counter("heapdrag_salvage_records_kept_total")
+            .add(self.records_kept);
+        registry
+            .counter("heapdrag_salvage_samples_kept_total")
+            .add(self.samples_kept);
+        registry
+            .counter("heapdrag_salvage_lines_dropped_total")
+            .add(self.lines_dropped);
+        registry
+            .counter("heapdrag_salvage_bytes_skipped_total")
+            .add(self.bytes_skipped);
+        registry
+            .counter("heapdrag_salvage_duplicates_dropped_total")
+            .add(self.duplicates_dropped);
+        registry
+            .gauge("heapdrag_salvage_end_synthesized")
+            .set(i64::from(self.synthesized_end));
+        for (code, n) in &self.errors_by_code {
+            registry
+                .counter(&format!("heapdrag_salvage_errors_total{{code=\"{code}\"}}"))
+                .add(*n);
+        }
+    }
+}
 
 /// The parsed contents of a phase-1 log file.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -98,10 +420,26 @@ impl ParsedLog {
     }
 }
 
+/// A fully ingested log: the parsed contents, the [`SalvageSummary`] of
+/// what (if anything) had to be dropped or repaired, and the per-stage
+/// [`ParallelMetrics`].
+#[derive(Debug)]
+pub struct Ingested {
+    /// The decoded log.
+    pub log: ParsedLog,
+    /// What salvage kept, dropped, and repaired (all-zero under strict).
+    pub salvage: SalvageSummary,
+    /// Parse-stage sharding instrumentation.
+    pub metrics: ParallelMetrics,
+}
+
 /// Serialises a profiling run (phase-1 output).
+///
+/// The `end` marker is written **last**, by the exit path, after every
+/// trailer and sample — so its presence certifies the log is complete, and
+/// its absence tells the salvage parser the run was cut short.
 pub fn write_log(run: &ProfileRun, program: &Program) -> String {
     let mut out = String::from("heapdrag-log v1\n");
-    out.push_str(&format!("end {}\n", run.outcome.end_time));
     let mut chains: Vec<ChainId> = run
         .records
         .iter()
@@ -134,6 +472,7 @@ pub fn write_log(run: &ProfileRun, program: &Program) -> String {
             s.time, s.reachable_bytes, s.reachable_count
         ));
     }
+    out.push_str(&format!("end {}\n", run.outcome.end_time));
     out
 }
 
@@ -142,13 +481,19 @@ fn field<'a, T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, LogError> {
-    let word = parts.next().ok_or_else(|| LogError {
-        line,
-        message: format!("missing field `{what}`"),
+    let word = parts.next().ok_or_else(|| {
+        LogError::new(
+            ErrorCode::MissingField,
+            line,
+            format!("missing field `{what}`"),
+        )
     })?;
-    word.parse().map_err(|_| LogError {
-        line,
-        message: format!("bad value `{word}` for `{what}`"),
+    word.parse().map_err(|_| {
+        LogError::new(
+            ErrorCode::BadFieldValue,
+            line,
+            format!("bad value `{word}` for `{what}`"),
+        )
     })
 }
 
@@ -157,26 +502,88 @@ fn opt_field<'a, T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<Option<T>, LogError> {
-    let word = parts.next().ok_or_else(|| LogError {
-        line,
-        message: format!("missing field `{what}`"),
+    let word = parts.next().ok_or_else(|| {
+        LogError::new(
+            ErrorCode::MissingField,
+            line,
+            format!("missing field `{what}`"),
+        )
     })?;
     if word == "-" {
         return Ok(None);
     }
-    word.parse().map(Some).map_err(|_| LogError {
-        line,
-        message: format!("bad value `{word}` for `{what}`"),
+    word.parse().map(Some).map_err(|_| {
+        LogError::new(
+            ErrorCode::BadFieldValue,
+            line,
+            format!("bad value `{word}` for `{what}`"),
+        )
     })
 }
 
-/// One decoded record line: either an object trailer or a deep-GC sample.
-/// Chunk workers keep the two streams separate so the merge can append to
-/// `records`/`samples` exactly as the sequential scan would.
+/// One raw input line with its byte extent, as produced by [`SplitLines`].
+#[derive(Debug, Clone, Copy)]
+struct RawLine<'a> {
+    /// 1-based line number.
+    line: usize,
+    /// Byte offset of the line start.
+    byte: u64,
+    /// Raw byte length, terminator included when present.
+    len: u64,
+    /// Line content, terminator excluded.
+    text: &'a str,
+    /// False only for a final line with no `\n` — a torn write.
+    terminated: bool,
+}
+
+/// Like `str::lines`, but tracking byte offsets and whether each line was
+/// terminated, so torn tails are detectable and skipped bytes countable.
+struct SplitLines<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> SplitLines<'a> {
+    fn new(text: &'a str) -> Self {
+        SplitLines { text, pos: 0, line: 0 }
+    }
+}
+
+impl<'a> Iterator for SplitLines<'a> {
+    type Item = RawLine<'a>;
+
+    fn next(&mut self) -> Option<RawLine<'a>> {
+        if self.pos >= self.text.len() {
+            return None;
+        }
+        let start = self.pos;
+        let rest = &self.text[start..];
+        let (content, len, terminated) = match rest.find('\n') {
+            Some(i) => (&rest[..i], i + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        self.pos = start + len;
+        self.line += 1;
+        Some(RawLine {
+            line: self.line,
+            byte: start as u64,
+            len: len as u64,
+            text: content,
+            terminated,
+        })
+    }
+}
+
+/// What one chunk worker decoded: the record/sample streams in input
+/// order, plus — in salvage mode — everything it had to drop.
 #[derive(Debug, Default)]
 struct ChunkOut {
     records: Vec<ObjectRecord>,
     samples: Vec<GcSample>,
+    errors: Vec<LogError>,
+    lines_dropped: u64,
+    bytes_skipped: u64,
 }
 
 /// Parses one `obj` line body (after the directive word).
@@ -218,32 +625,68 @@ fn parse_gc<'a>(
     })
 }
 
-/// Decodes one chunk of `obj`/`gc` lines. `lines` carries the 1-based line
-/// number of each entry so errors keep their sequential line numbers.
-fn parse_chunk(lines: &[(usize, &str)]) -> Result<ChunkOut, LogError> {
+/// Decodes one chunk of `obj`/`gc` lines. In strict mode the first bad
+/// line ends the chunk (the sequential scan would stop there too); in
+/// salvage mode bad lines are dropped and counted, and decoding continues.
+fn parse_chunk(lines: &[RawLine<'_>], chunk: usize, salvage: bool) -> ChunkOut {
     let mut out = ChunkOut::default();
-    for &(n, line) in lines {
-        let mut parts = line.split_whitespace();
-        match parts.next() {
-            Some("obj") => out.records.push(parse_obj(&mut parts, n)?),
-            Some("gc") => out.samples.push(parse_gc(&mut parts, n)?),
-            other => unreachable!("chunked line {n} is not obj/gc: {other:?}"),
+    for raw in lines {
+        let mut parts = raw.text.split_whitespace();
+        let result = match parts.next() {
+            Some("obj") => parse_obj(&mut parts, raw.line).map(|r| out.records.push(r)),
+            Some("gc") => parse_gc(&mut parts, raw.line).map(|s| out.samples.push(s)),
+            other => unreachable!("chunked line {} is not obj/gc: {other:?}", raw.line),
+        };
+        if let Err(mut e) = result {
+            e.byte = raw.byte;
+            e.chunk = Some(chunk);
+            out.errors.push(e);
+            if !salvage {
+                break;
+            }
+            out.lines_dropped += 1;
+            out.bytes_skipped += raw.len;
         }
     }
-    Ok(out)
+    out
 }
 
-/// Parses a phase-1 log (phase-2 input). Sequential — the `shards = 1`
-/// special case of [`parse_log_sharded`].
+/// Decodes one chunk, timing the decode and counting what it produced.
+fn decode_chunk(
+    index: usize,
+    lines: &[RawLine<'_>],
+    salvage: bool,
+) -> (ChunkOut, ShardMetrics) {
+    let t = Instant::now();
+    let out = parse_chunk(lines, index, salvage);
+    let m = ShardMetrics {
+        shard: index,
+        records: out.records.len() as u64,
+        samples: out.samples.len() as u64,
+        groups: 0,
+        elapsed: t.elapsed(),
+    };
+    (out, m)
+}
+
+/// Parses a phase-1 log (phase-2 input), strictly and sequentially — the
+/// `shards = 1` special case of [`parse_log_sharded`].
+///
+/// Strict mode demands a complete log: a well-formed header, decodable
+/// directives, a terminated final line, and the `end` end-of-log marker.
+/// To ingest a log from a crashed or killed run instead, use
+/// [`ingest_log`] with [`IngestConfig::salvage`], which degrades
+/// gracefully and reports what it dropped.
 ///
 /// # Errors
 ///
-/// Returns a [`LogError`] naming the first malformed line.
+/// Returns the [`LogError`] of the first malformed line (smallest line
+/// number), with its stable [`ErrorCode`] and byte offset.
 pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
     parse_log_sharded(text, &ParallelConfig::sequential()).map(|(log, _)| log)
 }
 
-/// Parses a phase-1 log with a sharded record decoder.
+/// Parses a phase-1 log strictly with a sharded record decoder.
 ///
 /// The coordinating thread scans the file once: the header and the `end`
 /// and `chain` directives are parsed in place (they are rare and carry
@@ -257,70 +700,161 @@ pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
 ///
 /// # Errors
 ///
-/// Returns a [`LogError`] naming the first malformed line.
+/// Returns the first malformed line's [`LogError`], for any shard count.
 pub fn parse_log_sharded(
     text: &str,
     par: &ParallelConfig,
 ) -> Result<(ParsedLog, ParallelMetrics), LogError> {
+    ingest_log(text, par, &IngestConfig::strict()).map(|i| (i.log, i.metrics))
+}
+
+/// Records a scan-level error. Returns true when the scan must abort
+/// (strict mode); in salvage mode the line is counted as dropped and the
+/// scan continues.
+fn note_scan_error(
+    mut e: LogError,
+    raw: &RawLine<'_>,
+    salvage: bool,
+    errors: &mut Vec<LogError>,
+    summary: &mut SalvageSummary,
+) -> bool {
+    e.byte = raw.byte;
+    errors.push(e);
+    if salvage {
+        summary.lines_dropped += 1;
+        summary.bytes_skipped += raw.len;
+        false
+    } else {
+        true
+    }
+}
+
+/// The single ingestion engine behind every parse entry point: one
+/// header/directive scan on the coordinating thread, sharded `obj`/`gc`
+/// decoding, then a deterministic merge.
+///
+/// **Strict** ([`IngestConfig::strict`]) returns the first malformed
+/// line's error. **Salvage** ([`IngestConfig::salvage`]) instead:
+///
+/// 1. drops undecodable lines (counting lines and bytes per
+///    [`ErrorCode`]),
+/// 2. drops a torn (unterminated) final line,
+/// 3. collapses exact duplicate records (by object id) and samples,
+/// 4. synthesizes the exit time from the latest observed `freed`/sample
+///    time when the `end` marker is missing — the synthesized exit is
+///    never earlier than any kept record's reclamation time, so every
+///    kept record's drag equals its value in the complete log, and
+/// 5. fails only on an empty input (`E001`) or when the error count
+///    exceeds [`IngestConfig::max_errors`] (`E008`).
+///
+/// The returned [`ParsedLog`] and [`SalvageSummary`] are identical for
+/// every [`ParallelConfig`]: chunking is decided by the scan (not the
+/// worker count), drops are per-line decisions, and the duplicate
+/// collapse runs at the sequential merge in input order. A worker thread
+/// that panics loses only the chunks it claimed (`E010`); under strict
+/// that is a per-chunk error, under salvage those chunks are dropped.
+///
+/// # Errors
+///
+/// Strict: the first malformed line. Salvage: `E001` or `E008` only.
+pub fn ingest_log(
+    text: &str,
+    par: &ParallelConfig,
+    ingest: &IngestConfig,
+) -> Result<Ingested, LogError> {
     let start = Instant::now();
+    let salvage = ingest.is_salvage();
     let mut metrics = ParallelMetrics::default();
     let split_start = Instant::now();
 
-    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let (_, header) = lines.next().ok_or(LogError {
-        line: 1,
-        message: "empty log".into(),
-    })?;
-    if header != "heapdrag-log v1" {
-        return Err(LogError {
-            line: 1,
-            message: format!("unrecognised header `{header}`"),
-        });
+    if text.is_empty() {
+        return Err(LogError::new(ErrorCode::EmptyLog, 1, "empty log".into()));
     }
 
-    let chunk_records = par.effective_chunk();
+    let mut summary = SalvageSummary {
+        salvage,
+        ..SalvageSummary::default()
+    };
     let mut log = ParsedLog::default();
-    let mut chunks: Vec<Vec<(usize, &str)>> = Vec::new();
-    let mut current: Vec<(usize, &str)> = Vec::new();
-    // The scan stops at the first error *it* can see (the sequential scan
-    // would stop there too); record lines before it may still hold an
-    // earlier error, found below by the chunk workers.
-    let mut scan_error: Option<LogError> = None;
-    for (n, line) in lines {
-        if line.is_empty() {
+    let mut scan_errors: Vec<LogError> = Vec::new();
+    let mut saw_end = false;
+    let mut last_line = 0;
+
+    let chunk_records = par.effective_chunk();
+    let mut chunks: Vec<Vec<RawLine<'_>>> = Vec::new();
+    let mut current: Vec<RawLine<'_>> = Vec::new();
+
+    for raw in SplitLines::new(text) {
+        last_line = raw.line;
+        // A torn tail can only be the final line; drop or abort on it.
+        if !raw.terminated {
+            let e = LogError::new(
+                ErrorCode::TornTail,
+                raw.line,
+                "unterminated final line (torn write)".into(),
+            );
+            if note_scan_error(e, &raw, salvage, &mut scan_errors, &mut summary) {
+                break;
+            }
             continue;
         }
-        let mut parts = line.split_whitespace();
+        let content = raw.text.trim();
+        if raw.line == 1 {
+            if content == "heapdrag-log v1" {
+                continue;
+            }
+            let e = LogError::new(
+                ErrorCode::BadHeader,
+                raw.line,
+                format!("unrecognised header `{content}`"),
+            );
+            if note_scan_error(e, &raw, salvage, &mut scan_errors, &mut summary) {
+                break;
+            }
+            continue;
+        }
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
         match parts.next() {
-            Some("end") => match field(&mut parts, n, "end time") {
-                Ok(t) => log.end_time = t,
+            Some("end") => match field(&mut parts, raw.line, "end time") {
+                Ok(t) => {
+                    log.end_time = t;
+                    saw_end = true;
+                }
                 Err(e) => {
-                    scan_error = Some(e);
-                    break;
+                    if note_scan_error(e, &raw, salvage, &mut scan_errors, &mut summary) {
+                        break;
+                    }
                 }
             },
-            Some("chain") => match field::<u32>(&mut parts, n, "chain id") {
+            Some("chain") => match field::<u32>(&mut parts, raw.line, "chain id") {
                 Ok(id) => {
                     let rest: Vec<&str> = parts.collect();
                     log.chain_names.insert(ChainId(id), rest.join(" "));
                 }
                 Err(e) => {
-                    scan_error = Some(e);
-                    break;
+                    if note_scan_error(e, &raw, salvage, &mut scan_errors, &mut summary) {
+                        break;
+                    }
                 }
             },
             Some("obj") | Some("gc") => {
-                current.push((n, line));
+                current.push(raw);
                 if current.len() >= chunk_records {
                     chunks.push(std::mem::take(&mut current));
                 }
             }
             Some(other) => {
-                scan_error = Some(LogError {
-                    line: n,
-                    message: format!("unknown directive `{other}`"),
-                });
-                break;
+                let e = LogError::new(
+                    ErrorCode::UnknownDirective,
+                    raw.line,
+                    format!("unknown directive `{other}`"),
+                );
+                if note_scan_error(e, &raw, salvage, &mut scan_errors, &mut summary) {
+                    break;
+                }
             }
             None => {}
         }
@@ -330,102 +864,210 @@ pub fn parse_log_sharded(
     }
     metrics.split_elapsed = split_start.elapsed();
 
+    // Decode the chunks, work-stealing over chunk indices so a slow chunk
+    // cannot serialise the rest. Results land in per-chunk slots; a worker
+    // that panics loses only the chunks it claimed — the empty slots are
+    // degraded to per-chunk `E010` errors below rather than aborting the
+    // whole process.
     let workers = par.effective_shards(chunks.len());
-    let results: Vec<(Result<ChunkOut, LogError>, ShardMetrics)> = if workers <= 1 {
+    let mut slots: Vec<Option<(ChunkOut, ShardMetrics)>> = if workers <= 1 {
         chunks
             .iter()
             .enumerate()
-            .map(|(i, c)| decode_chunk(i, c))
+            .map(|(i, c)| Some(decode_chunk(i, c, salvage)))
             .collect()
     } else {
-        // Work-stealing over chunk indices: workers pull the next
-        // unclaimed chunk, so a slow chunk cannot serialise the rest.
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let chunks = &chunks;
-        let next = &next;
+        let chunks_ref = &chunks;
+        let next_ref = &next;
+        let mut slots: Vec<Option<(ChunkOut, ShardMetrics)>> =
+            (0..chunks.len()).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move || {
                         let mut mine = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= chunks.len() {
+                            let i =
+                                next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= chunks_ref.len() {
                                 return mine;
                             }
-                            let (result, m) = decode_chunk(i, &chunks[i]);
-                            mine.push((i, result, m));
+                            mine.push((i, decode_chunk(i, &chunks_ref[i], salvage)));
                         }
                     })
                 })
                 .collect();
-            let mut all: Vec<(usize, Result<ChunkOut, LogError>, ShardMetrics)> = handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("parse worker panicked"))
-                .collect();
-            all.sort_by_key(|(i, _, _)| *i);
-            all.into_iter().map(|(_, r, m)| (r, m)).collect()
-        })
+            for h in handles {
+                if let Ok(mine) = h.join() {
+                    for (i, result) in mine {
+                        slots[i] = Some(result);
+                    }
+                }
+            }
+        });
+        slots
     };
 
     let merge_start = Instant::now();
-    // The first malformed line wins, wherever it was found.
-    let mut first_error: Option<LogError> = scan_error;
-    let mut outs = Vec::with_capacity(results.len());
-    for (result, m) in results {
-        match result {
-            Ok(out) => {
+    let mut all_errors = scan_errors;
+    let mut outs: Vec<ChunkOut> = Vec::with_capacity(chunks.len());
+    for (i, slot) in slots.iter_mut().enumerate() {
+        match slot.take() {
+            Some((mut out, m)) => {
                 metrics.shards.push(m);
+                all_errors.append(&mut out.errors);
+                summary.lines_dropped += out.lines_dropped;
+                summary.bytes_skipped += out.bytes_skipped;
                 outs.push(out);
             }
-            Err(e) => {
-                if first_error.as_ref().is_none_or(|f| e.line < f.line) {
-                    first_error = Some(e);
+            None => {
+                let lines = &chunks[i];
+                let first = lines.first().expect("chunks are never empty");
+                all_errors.push(LogError {
+                    code: ErrorCode::WorkerLost,
+                    line: first.line,
+                    byte: first.byte,
+                    chunk: Some(i),
+                    message: format!(
+                        "parse worker panicked; chunk {i} ({} lines) lost",
+                        lines.len()
+                    ),
+                });
+                if salvage {
+                    summary.lines_dropped += lines.len() as u64;
+                    summary.bytes_skipped += lines.iter().map(|l| l.len).sum::<u64>();
                 }
             }
         }
     }
-    if let Some(e) = first_error {
-        return Err(e);
+    // The smallest line number wins, wherever the error was found —
+    // exactly what a sequential scan would report first.
+    all_errors.sort_by_key(|e| e.line);
+
+    if !salvage {
+        if let Some(e) = all_errors.into_iter().next() {
+            return Err(e);
+        }
+        if !saw_end {
+            return Err(LogError {
+                code: ErrorCode::MissingEndMarker,
+                line: last_line + 1,
+                byte: text.len() as u64,
+                chunk: None,
+                message: "no `end` marker — log truncated?".into(),
+            });
+        }
+        for out in outs {
+            log.records.extend(out.records);
+            log.samples.extend(out.samples);
+        }
+    } else {
+        if !saw_end {
+            summary.synthesized_end = true;
+            all_errors.push(LogError {
+                code: ErrorCode::MissingEndMarker,
+                line: last_line + 1,
+                byte: text.len() as u64,
+                chunk: None,
+                message: "no `end` marker — synthesizing exit time".into(),
+            });
+        }
+        // Collapse exact duplicates in input order, so the kept set — and
+        // therefore the whole analysis — is shard-invariant.
+        let mut seen_objects: HashSet<ObjectId> = HashSet::new();
+        let mut seen_samples: HashSet<(u64, u64, u64)> = HashSet::new();
+        for out in outs {
+            for r in out.records {
+                if seen_objects.insert(r.object) {
+                    log.records.push(r);
+                } else {
+                    summary.duplicates_dropped += 1;
+                }
+            }
+            for s in out.samples {
+                if seen_samples.insert((s.time, s.reachable_bytes, s.reachable_count)) {
+                    log.samples.push(s);
+                } else {
+                    summary.duplicates_dropped += 1;
+                }
+            }
+        }
+        if summary.synthesized_end {
+            log.end_time = log
+                .records
+                .iter()
+                .map(|r| r.freed)
+                .chain(log.samples.iter().map(|s| s.time))
+                .max()
+                .unwrap_or(0);
+        }
+        for e in &all_errors {
+            *summary.errors_by_code.entry(e.code).or_insert(0) += 1;
+        }
+        if summary.duplicates_dropped > 0 {
+            *summary
+                .errors_by_code
+                .entry(ErrorCode::DuplicateRecord)
+                .or_insert(0) += summary.duplicates_dropped;
+        }
+        summary.first_errors = all_errors.iter().take(FIRST_ERRORS_CAP).cloned().collect();
+        if let Some(max) = ingest.max_errors {
+            let total = summary.total_errors();
+            if total > max {
+                return Err(LogError::new(
+                    ErrorCode::TooManyErrors,
+                    0,
+                    format!("salvage found {total} errors, exceeding the bound of {max}"),
+                ));
+            }
+        }
     }
-    for out in outs {
-        log.records.extend(out.records);
-        log.samples.extend(out.samples);
-    }
+
+    summary.records_kept = log.records.len() as u64;
+    summary.samples_kept = log.samples.len() as u64;
     metrics.merge_elapsed = merge_start.elapsed();
     metrics.total_elapsed = start.elapsed();
-    Ok((log, metrics))
-}
-
-/// Decodes one chunk, timing the decode and counting what it produced.
-fn decode_chunk(
-    index: usize,
-    lines: &[(usize, &str)],
-) -> (Result<ChunkOut, LogError>, ShardMetrics) {
-    let t = Instant::now();
-    let result = parse_chunk(lines);
-    let (records, samples) = match &result {
-        Ok(out) => (out.records.len() as u64, out.samples.len() as u64),
-        Err(_) => (0, 0),
-    };
-    let m = ShardMetrics {
-        shard: index,
-        records,
-        samples,
-        groups: 0,
-        elapsed: t.elapsed(),
-    };
-    (result, m)
+    Ok(Ingested {
+        log,
+        salvage: summary,
+        metrics,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn salvage_seq(text: &str) -> Ingested {
+        ingest_log(
+            text,
+            &ParallelConfig::sequential(),
+            &IngestConfig::salvage(),
+        )
+        .expect("salvage succeeds")
+    }
+
     #[test]
     fn parse_rejects_bad_header() {
         let e = parse_log("not-a-log\n").unwrap_err();
         assert_eq!(e.line, 1);
+        assert_eq!(e.code, ErrorCode::BadHeader);
+        assert_eq!(e.byte, 0);
+    }
+
+    #[test]
+    fn parse_rejects_empty_log() {
+        let e = parse_log("").unwrap_err();
+        assert_eq!(e.code, ErrorCode::EmptyLog);
+        // Even salvage has nothing to keep from an empty file.
+        let e = ingest_log(
+            "",
+            &ParallelConfig::sequential(),
+            &IngestConfig::salvage(),
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::EmptyLog);
     }
 
     #[test]
@@ -447,9 +1089,129 @@ mod tests {
         let text = "heapdrag-log v1\nobj 1 bad\n";
         let e = parse_log(text).unwrap_err();
         assert_eq!(e.line, 2);
+        assert_eq!(e.code, ErrorCode::BadFieldValue);
+        assert_eq!(e.byte, 16, "byte offset of the line start");
         let text = "heapdrag-log v1\nwhat 1\n";
         let e = parse_log(text).unwrap_err();
         assert!(e.message.contains("what"));
+        assert_eq!(e.code, ErrorCode::UnknownDirective);
+    }
+
+    #[test]
+    fn strict_requires_the_end_marker() {
+        let text = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\n";
+        let e = parse_log(text).unwrap_err();
+        assert_eq!(e.code, ErrorCode::MissingEndMarker);
+        assert_eq!(e.line, 3, "reported just past the last line");
+
+        let ing = salvage_seq(text);
+        assert!(ing.salvage.synthesized_end);
+        assert_eq!(ing.log.end_time, 900, "max freed time becomes the exit");
+        assert_eq!(ing.log.records.len(), 1);
+        assert_eq!(ing.salvage.errors_by_code[&ErrorCode::MissingEndMarker], 1);
+    }
+
+    #[test]
+    fn strict_rejects_a_torn_tail() {
+        let text = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\nend 90";
+        let e = parse_log(text).unwrap_err();
+        assert_eq!(e.code, ErrorCode::TornTail);
+        assert_eq!(e.line, 3);
+
+        // Salvage drops the torn line; `end` was on it, so the exit time
+        // is synthesized from the surviving record.
+        let ing = salvage_seq(text);
+        assert_eq!(ing.log.records.len(), 1);
+        assert!(ing.salvage.synthesized_end);
+        assert_eq!(ing.salvage.lines_dropped, 1);
+        assert_eq!(ing.salvage.bytes_skipped, 6, "`end 90` has 6 bytes");
+        assert_eq!(ing.salvage.errors_by_code[&ErrorCode::TornTail], 1);
+    }
+
+    #[test]
+    fn salvage_drops_bad_lines_and_keeps_the_rest() {
+        let text = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\nobj 2 bad\nwhat 9\ngc 500 840 2\nend 1000\n";
+        let ing = salvage_seq(text);
+        assert_eq!(ing.log.records.len(), 1);
+        assert_eq!(ing.log.samples.len(), 1);
+        assert_eq!(ing.log.end_time, 1000);
+        assert!(!ing.salvage.synthesized_end);
+        assert_eq!(ing.salvage.lines_dropped, 2);
+        assert_eq!(ing.salvage.records_kept, 1);
+        assert_eq!(ing.salvage.errors_by_code[&ErrorCode::BadFieldValue], 1);
+        assert_eq!(
+            ing.salvage.errors_by_code[&ErrorCode::UnknownDirective],
+            1
+        );
+        assert_eq!(ing.salvage.total_errors(), 2);
+        assert!(!ing.salvage.is_clean());
+        assert_eq!(ing.salvage.first_errors.len(), 2);
+        let footer = ing.salvage.render_footer();
+        assert!(footer.contains("lines dropped:      2"));
+        assert!(footer.contains("E003 unknown-directive"));
+    }
+
+    #[test]
+    fn salvage_collapses_duplicate_records_and_samples() {
+        let text = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\ngc 500 840 2\nobj 1 2 816 16 900 320 0 0 0\ngc 500 840 2\nend 1000\n";
+        let strict = parse_log(text).unwrap();
+        assert_eq!(strict.records.len(), 2, "strict does not dedup");
+        let ing = salvage_seq(text);
+        assert_eq!(ing.log.records.len(), 1);
+        assert_eq!(ing.log.samples.len(), 1);
+        assert_eq!(ing.salvage.duplicates_dropped, 2);
+        assert_eq!(ing.salvage.errors_by_code[&ErrorCode::DuplicateRecord], 2);
+    }
+
+    #[test]
+    fn salvage_respects_max_errors() {
+        let text = "heapdrag-log v1\nbad 1\nbad 2\nbad 3\nend 10\n";
+        let ok = ingest_log(
+            text,
+            &ParallelConfig::sequential(),
+            &IngestConfig {
+                mode: IngestMode::Salvage,
+                max_errors: Some(3),
+            },
+        )
+        .expect("within bound");
+        assert_eq!(ok.salvage.total_errors(), 3);
+        let e = ingest_log(
+            text,
+            &ParallelConfig::sequential(),
+            &IngestConfig {
+                mode: IngestMode::Salvage,
+                max_errors: Some(2),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::TooManyErrors);
+    }
+
+    #[test]
+    fn salvage_summary_publishes_metrics() {
+        let text = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\nbad 1\n";
+        let ing = salvage_seq(text);
+        let registry = heapdrag_obs::Registry::new();
+        ing.salvage.publish_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["heapdrag_salvage_records_kept_total"], 1);
+        assert_eq!(snap.counters["heapdrag_salvage_lines_dropped_total"], 1);
+        assert_eq!(
+            snap.counters["heapdrag_salvage_errors_total{code=\"E003\"}"],
+            1
+        );
+        assert_eq!(snap.gauges["heapdrag_salvage_end_synthesized"], 1);
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(ErrorCode::ALL.len(), 10);
+        for (i, code) in ErrorCode::ALL.iter().enumerate() {
+            assert_eq!(code.code(), format!("E{:03}", i + 1), "{code:?}");
+        }
+        let e = LogError::new(ErrorCode::TornTail, 7, "x".into());
+        assert!(e.to_string().contains("[E007]"));
     }
 
     /// A synthetic log big enough to exercise multiple chunks.
@@ -500,6 +1262,7 @@ mod tests {
         lines[40] = bad_early; // 1-based line 41
         lines[150] = bad_late;
         text = lines.join("\n");
+        text.push('\n');
         for shards in [1, 2, 8] {
             let par = ParallelConfig {
                 shards,
@@ -507,6 +1270,37 @@ mod tests {
             };
             let e = parse_log_sharded(&text, &par).unwrap_err();
             assert_eq!(e.line, 41, "shards = {shards}: {e}");
+            assert_eq!(e.code, ErrorCode::BadFieldValue, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn salvage_is_identical_across_shard_counts() {
+        let mut text = big_log(300);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[41] = "obj 9 torn-val";
+        lines[99] = "garbage directive";
+        text = lines.join("\n"); // also tears the final line
+        // Chunk indices in errors depend on `chunk_records` (the scan
+        // decides chunking), so the baseline pins the same chunk size.
+        let baseline = ingest_log(
+            &text,
+            &ParallelConfig {
+                shards: 1,
+                chunk_records: 16,
+            },
+            &IngestConfig::salvage(),
+        )
+        .expect("salvage succeeds");
+        for shards in [2usize, 4, 7] {
+            let par = ParallelConfig {
+                shards,
+                chunk_records: 16,
+            };
+            let ing =
+                ingest_log(&text, &par, &IngestConfig::salvage()).expect("salvage succeeds");
+            assert_eq!(ing.log, baseline.log, "shards = {shards}");
+            assert_eq!(ing.salvage, baseline.salvage, "shards = {shards}");
         }
     }
 }

@@ -27,13 +27,25 @@ impl Metric {
 /// A collection of named metrics.
 ///
 /// Cloning a `Registry` yields another handle to the same collection, so
-/// it can be passed by value across layers without lifetimes. The internal
-/// mutex guards only registration and snapshotting — the returned handles
-/// update their values through lock-free relaxed atomics.
+/// it can be passed by value across layers without lifetimes.
 ///
-/// Names may embed Prometheus-style labels:
-/// `vm_dispatch_total{class="arith"}`. Keys sort lexicographically in
-/// every render, so output is byte-stable.
+/// # Invariants
+///
+/// * **The lock is cold.** The internal mutex guards only registration
+///   and snapshotting; the returned [`Counter`]/[`Gauge`]/[`Histogram`]
+///   handles update their values through lock-free relaxed atomics, so
+///   instrumented hot paths never contend.
+/// * **A name has one type, forever.** Re-requesting a name returns a
+///   handle to the same metric; requesting it as a different type panics
+///   (always a programming error, never data-dependent).
+/// * **Renders are byte-stable.** Names may embed Prometheus-style
+///   labels (`vm_dispatch_total{class="arith"}`); keys sort
+///   lexicographically in every render, so identical contents produce
+///   identical JSON and Prometheus text, byte for byte — the property
+///   the golden-snapshot and shard-parity tests rely on.
+/// * **Snapshots are self-consistent per metric**, not cross-metric:
+///   each value is read atomically, but concurrent writers may land
+///   between reads of different metrics.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     metrics: Arc<Mutex<BTreeMap<String, Metric>>>,

@@ -1,0 +1,320 @@
+//! Seeded fault injection for text-based trace formats.
+//!
+//! Each [`Fault`] is a deterministic mutator over a log string: given the
+//! same input and the same [`Rng`] state it produces the same corruption,
+//! so a failing property case replays exactly from its seed. The faults
+//! model what crashed, killed, and out-of-disk runs actually do to
+//! line-oriented logs:
+//!
+//! * [`Fault::TruncateAtByte`] — the file simply stops (kill -9, ENOSPC).
+//! * [`Fault::FlipByte`] — a character is replaced (bit rot, bad copy).
+//! * [`Fault::DeleteLine`] — a whole line is lost (dropped write buffer).
+//! * [`Fault::DuplicateChunk`] — consecutive lines appear twice (replayed
+//!   write buffer after a partial flush).
+//! * [`Fault::TornTail`] — the final line is cut mid-write, leaving no
+//!   terminator.
+//!
+//! All mutators are total: on inputs too small to corrupt meaningfully
+//! they degrade gracefully (possibly to a no-op) instead of panicking, so
+//! property loops never have to special-case tiny logs.
+
+use crate::rng::Rng;
+
+/// A kind of log corruption to inject. See the module docs for the
+/// real-world failure each one models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Cut the log at a random byte (snapped to a char boundary).
+    TruncateAtByte,
+    /// Replace one character with a different printable ASCII character.
+    FlipByte,
+    /// Remove one whole line, terminator included.
+    DeleteLine,
+    /// Duplicate a run of 1–8 consecutive lines in place.
+    DuplicateChunk,
+    /// Cut within the final line so it loses its terminator.
+    TornTail,
+}
+
+impl Fault {
+    /// Every fault kind, for exhaustive property sweeps.
+    pub const ALL: [Fault; 5] = [
+        Fault::TruncateAtByte,
+        Fault::FlipByte,
+        Fault::DeleteLine,
+        Fault::DuplicateChunk,
+        Fault::TornTail,
+    ];
+
+    /// A short kebab-case name for case labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::TruncateAtByte => "truncate-at-byte",
+            Fault::FlipByte => "flip-byte",
+            Fault::DeleteLine => "delete-line",
+            Fault::DuplicateChunk => "duplicate-chunk",
+            Fault::TornTail => "torn-tail",
+        }
+    }
+
+    /// True for the faults that only *remove or repeat* well-formed
+    /// content, never alter it: any record surviving the fault is verbatim
+    /// from the clean log, so salvaged analyses must be a subset of the
+    /// clean analysis. [`Fault::FlipByte`] is the exception — a flip can
+    /// yield a *different but valid* line, changing records rather than
+    /// dropping them.
+    pub fn is_structural(self) -> bool {
+        !matches!(self, Fault::FlipByte)
+    }
+}
+
+/// What [`inject`] actually did: the fault, where it struck, and how many
+/// bytes it affected — enough to reconstruct the corruption in a failure
+/// report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The fault that was injected.
+    pub fault: Fault,
+    /// Byte offset where the corruption starts.
+    pub offset: usize,
+    /// Bytes removed, replaced, or inserted (0 for a no-op degrade).
+    pub len: usize,
+}
+
+/// Snaps `offset` down to the nearest char boundary of `text`.
+fn snap(text: &str, mut offset: usize) -> usize {
+    while offset > 0 && !text.is_char_boundary(offset) {
+        offset -= 1;
+    }
+    offset
+}
+
+/// The byte ranges of `text`'s lines, terminators included.
+fn line_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    while start < text.len() {
+        let end = match text[start..].find('\n') {
+            Some(i) => start + i + 1,
+            None => text.len(),
+        };
+        spans.push((start, end));
+        start = end;
+    }
+    spans
+}
+
+/// Applies one seeded `fault` to `text`, returning the corrupted log and
+/// a [`FaultReport`] of what was done. Deterministic in `(text, fault,
+/// rng state)`; total on every input including the empty string.
+pub fn inject(text: &str, fault: Fault, rng: &mut Rng) -> (String, FaultReport) {
+    let noop = FaultReport {
+        fault,
+        offset: 0,
+        len: 0,
+    };
+    match fault {
+        Fault::TruncateAtByte => {
+            if text.len() < 2 {
+                return (text.to_string(), noop);
+            }
+            let cut = snap(text, rng.range_usize(1, text.len()));
+            if cut == 0 {
+                return (text.to_string(), noop);
+            }
+            let report = FaultReport {
+                fault,
+                offset: cut,
+                len: text.len() - cut,
+            };
+            (text[..cut].to_string(), report)
+        }
+        Fault::FlipByte => {
+            if text.is_empty() {
+                return (String::new(), noop);
+            }
+            let at = snap(text, rng.range_usize(0, text.len()));
+            let original = text[at..].chars().next().expect("snapped to a char");
+            // Pick a printable ASCII replacement that differs from the
+            // original, so the flip is never a silent no-op.
+            let mut replacement = rng.range_u8(0x20, 0x7f) as char;
+            if replacement == original {
+                replacement = if replacement == '~' { '!' } else { '~' };
+            }
+            let mut out = String::with_capacity(text.len());
+            out.push_str(&text[..at]);
+            out.push(replacement);
+            out.push_str(&text[at + original.len_utf8()..]);
+            let report = FaultReport {
+                fault,
+                offset: at,
+                len: original.len_utf8(),
+            };
+            (out, report)
+        }
+        Fault::DeleteLine => {
+            let spans = line_spans(text);
+            if spans.is_empty() {
+                return (text.to_string(), noop);
+            }
+            let (start, end) = spans[rng.range_usize(0, spans.len())];
+            let mut out = String::with_capacity(text.len());
+            out.push_str(&text[..start]);
+            out.push_str(&text[end..]);
+            let report = FaultReport {
+                fault,
+                offset: start,
+                len: end - start,
+            };
+            (out, report)
+        }
+        Fault::DuplicateChunk => {
+            let spans = line_spans(text);
+            if spans.is_empty() {
+                return (text.to_string(), noop);
+            }
+            let first = rng.range_usize(0, spans.len());
+            let count = rng.range_usize(1, 9.min(spans.len() - first + 1));
+            let start = spans[first].0;
+            let end = spans[first + count - 1].1;
+            let mut chunk = text[start..end].to_string();
+            // Terminate an unterminated final line before repeating it, so
+            // the duplicate is a parseable copy rather than a splice.
+            if !chunk.ends_with('\n') {
+                chunk.push('\n');
+            }
+            let mut out = String::with_capacity(text.len() + chunk.len());
+            out.push_str(&text[..end]);
+            out.push_str(&chunk);
+            out.push_str(&text[end..]);
+            let report = FaultReport {
+                fault,
+                offset: end,
+                len: chunk.len(),
+            };
+            (out, report)
+        }
+        Fault::TornTail => {
+            let spans = line_spans(text);
+            let Some(&(start, end)) = spans.last() else {
+                return (text.to_string(), noop);
+            };
+            // Cut strictly inside the last line: past its first byte,
+            // before its terminator — leaving a torn, unterminated tail.
+            if end - start < 2 {
+                return (text.to_string(), noop);
+            }
+            let content_end = if text.ends_with('\n') { end - 1 } else { end };
+            if content_end <= start + 1 {
+                return (text.to_string(), noop);
+            }
+            let cut = snap(text, rng.range_usize(start + 1, content_end));
+            if cut <= start {
+                return (text.to_string(), noop);
+            }
+            let report = FaultReport {
+                fault,
+                offset: cut,
+                len: text.len() - cut,
+            };
+            (text[..cut].to_string(), report)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "heapdrag-log v1\nobj 1 2 816 16 900 320 0 0 0\ngc 500 840 2\nend 1000\n";
+
+    #[test]
+    fn all_faults_are_total_on_tiny_inputs() {
+        for fault in Fault::ALL {
+            for input in ["", "x", "x\n", "\n"] {
+                let mut rng = Rng::new(7);
+                let (out, report) = inject(input, fault, &mut rng);
+                assert_eq!(report.fault, fault);
+                if report.len == 0 {
+                    assert_eq!(out, input, "{}: no-op must return input", fault.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_shortens_and_keeps_a_prefix() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject(LOG, Fault::TruncateAtByte, &mut rng);
+            assert!(out.len() < LOG.len());
+            assert_eq!(out, &LOG[..report.offset]);
+        }
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_char() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject(LOG, Fault::FlipByte, &mut rng);
+            assert_ne!(out, LOG);
+            assert_eq!(out.len(), LOG.len());
+            assert_eq!(&out[..report.offset], &LOG[..report.offset]);
+            assert_eq!(&out[report.offset + 1..], &LOG[report.offset + 1..]);
+        }
+    }
+
+    #[test]
+    fn delete_line_removes_one_whole_line() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let (out, _) = inject(LOG, Fault::DeleteLine, &mut rng);
+            assert_eq!(out.lines().count(), LOG.lines().count() - 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_chunk_repeats_consecutive_lines() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject(LOG, Fault::DuplicateChunk, &mut rng);
+            assert!(out.len() > LOG.len());
+            assert!(report.len > 0);
+            // Every line of the corrupted log already existed in the input.
+            for line in out.lines() {
+                assert!(LOG.lines().any(|l| l == line), "foreign line `{line}`");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_leaves_an_unterminated_final_line() {
+        for seed in 0..32 {
+            let mut rng = Rng::new(seed);
+            let (out, _) = inject(LOG, Fault::TornTail, &mut rng);
+            assert!(!out.ends_with('\n'));
+            assert!(out.len() < LOG.len());
+            // Only the final line was affected.
+            let kept = out.lines().count() - 1;
+            assert!(LOG.lines().take(kept).eq(out.lines().take(kept)));
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_the_seed() {
+        for fault in Fault::ALL {
+            let mut a = Rng::new(99);
+            let mut b = Rng::new(99);
+            assert_eq!(inject(LOG, fault, &mut a), inject(LOG, fault, &mut b));
+        }
+    }
+
+    #[test]
+    fn structural_classification_excludes_flip() {
+        assert!(!Fault::FlipByte.is_structural());
+        assert_eq!(
+            Fault::ALL.iter().filter(|f| f.is_structural()).count(),
+            4
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! workspace actually uses, so the test suite builds and runs with the
 //! network disabled.
 //!
-//! Two pieces:
+//! Three pieces:
 //!
 //! * [`Rng`] — a deterministic SplitMix64 generator with the handful of
 //!   sampling helpers the generators in `tests/` need (ranges, booleans,
@@ -13,6 +13,9 @@
 //!   from a base seed, hands a fresh [`Rng`] to the property closure, and
 //!   on panic reports the case number and failing seed so the case can be
 //!   replayed with `TESTKIT_SEED=<seed> TESTKIT_CASES=1`.
+//! * [`fault`] — seeded log corruptors ([`Fault`], [`inject`]) modelling
+//!   what crashed/killed/out-of-disk runs do to line-oriented trace
+//!   files, for exercising the salvage parser.
 //!
 //! ```
 //! use heapdrag_testkit::{check, Rng};
@@ -26,8 +29,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod rng;
 pub mod runner;
 
+pub use fault::{inject, Fault, FaultReport};
 pub use rng::Rng;
 pub use runner::{check, check_with, Config};

@@ -15,10 +15,17 @@
 //! and `--metrics-out <path>` writes a metrics snapshot of whichever phase
 //! ran — stable JSON by default, Prometheus text if the path ends in
 //! `.prom`.
+//!
+//! Log-reading commands default to strict parsing (`--strict`): the first
+//! malformed line aborts with a stable `E0xx` error code. `--salvage`
+//! ingests damaged logs instead — corrupt lines are dropped, a missing
+//! end-of-log marker is repaired — and appends a salvage summary footer to
+//! the report; `--max-errors N` bounds how much corruption salvage will
+//! tolerate.
 
 use std::process::ExitCode;
 
-use heapdrag::core::log::{parse_log_sharded, write_log};
+use heapdrag::core::log::{ingest_log, write_log, IngestConfig, IngestMode, SalvageSummary};
 use heapdrag::core::{profile_with, render, DragAnalyzer, ParallelConfig, Timeline, VmConfig};
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
@@ -40,6 +47,13 @@ common flags:
                          text format if <path> ends in .prom)
   --verbose-metrics      print per-shard parse/analyze timings to stderr
 
+log ingestion flags (report / inspect):
+  --strict               abort at the first malformed log line (default)
+  --salvage              drop corrupt lines, repair a missing end marker,
+                         and append a salvage summary to the report
+  --max-errors <N>       with --salvage: fail with E008 when more than N
+                         errors accumulate
+
 <prog> is either bytecode assembly (.hdasm) or mini-Java source (.hdj).";
 
 struct Args {
@@ -48,6 +62,8 @@ struct Args {
     interval_kb: Option<u64>,
     top: usize,
     parallel: ParallelConfig,
+    ingest: IngestConfig,
+    strict_flag: bool,
     metrics_out: Option<String>,
     verbose_metrics: bool,
 }
@@ -59,6 +75,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         interval_kb: None,
         top: 10,
         parallel: ParallelConfig::sequential(),
+        ingest: IngestConfig::strict(),
+        strict_flag: false,
         metrics_out: None,
         verbose_metrics: false,
     };
@@ -90,24 +108,51 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--verbose-metrics" => {
                 args.verbose_metrics = true;
             }
+            "--salvage" => {
+                args.ingest.mode = IngestMode::Salvage;
+            }
+            "--strict" => {
+                args.strict_flag = true;
+            }
+            "--max-errors" => {
+                let v = it.next().ok_or("--max-errors needs a number")?;
+                args.ingest.max_errors = Some(v.parse().map_err(|_| "bad --max-errors")?);
+            }
             other => args.positional.push(other.to_string()),
         }
+    }
+    if args.strict_flag && args.ingest.is_salvage() {
+        return Err("--strict and --salvage are mutually exclusive".into());
+    }
+    if args.ingest.max_errors.is_some() && !args.ingest.is_salvage() {
+        return Err("--max-errors requires --salvage".into());
     }
     Ok(args)
 }
 
-/// Parses and analyzes a log file under the configured sharding. Stage
-/// instrumentation goes into `registry` (when one is attached via
-/// `--metrics-out`) and is printed to stderr only under
-/// `--verbose-metrics`.
+/// Parses and analyzes a log file under the configured sharding and
+/// ingest mode. Stage instrumentation goes into `registry` (when one is
+/// attached via `--metrics-out`) and is printed to stderr only under
+/// `--verbose-metrics`. In salvage mode the returned [`SalvageSummary`]
+/// says what was dropped or repaired and the `heapdrag_salvage_*` family
+/// is published.
 fn analyze_log_file(
     path: &str,
     parallel: &ParallelConfig,
+    ingest: &IngestConfig,
     registry: Option<&Registry>,
     verbose: bool,
-) -> Result<(heapdrag::core::log::ParsedLog, heapdrag::core::DragReport), String> {
+) -> Result<
+    (
+        heapdrag::core::log::ParsedLog,
+        heapdrag::core::DragReport,
+        SalvageSummary,
+    ),
+    String,
+> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let (parsed, parse_metrics) = parse_log_sharded(&text, parallel).map_err(|e| e.to_string())?;
+    let ingested = ingest_log(&text, parallel, ingest).map_err(|e| e.to_string())?;
+    let (parsed, parse_metrics, salvage) = (ingested.log, ingested.metrics, ingested.salvage);
     let (report, analyze_metrics) =
         DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), parallel);
     if verbose {
@@ -119,8 +164,11 @@ fn analyze_log_file(
         analyze_metrics.publish("analyze", registry);
         parsed.publish_metrics(registry);
         report.publish_metrics(registry);
+        if salvage.salvage {
+            salvage.publish_metrics(registry);
+        }
     }
-    Ok((parsed, report))
+    Ok((parsed, report, salvage))
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -200,13 +248,17 @@ fn run_main() -> Result<(), String> {
         }
         "report" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
-            let (parsed, report) = analyze_log_file(
+            let (parsed, report, salvage) = analyze_log_file(
                 log_path,
                 &args.parallel,
+                &args.ingest,
                 registry.as_ref(),
                 args.verbose_metrics,
             )?;
             print!("{}", render(&report, &parsed, args.top));
+            if salvage.salvage {
+                print!("\n{}", salvage.render_footer());
+            }
         }
         "inspect" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
@@ -216,9 +268,10 @@ fn run_main() -> Result<(), String> {
                 .ok_or("inspect needs a site rank (1 = highest drag)")?
                 .parse()
                 .map_err(|_| "bad rank")?;
-            let (parsed, report) = analyze_log_file(
+            let (parsed, report, _salvage) = analyze_log_file(
                 log_path,
                 &args.parallel,
+                &args.ingest,
                 registry.as_ref(),
                 args.verbose_metrics,
             )?;

@@ -8,8 +8,8 @@
 //! on a hot path that races the observer — exactly the bugs a metrics
 //! layer exists to catch.
 
-use heapdrag::core::log::{parse_log_sharded, write_log};
-use heapdrag::core::{profile_with, DragAnalyzer, ParallelConfig, VmConfig};
+use heapdrag::core::log::{ingest_log, parse_log_sharded, write_log, IngestConfig};
+use heapdrag::core::{profile_with, render, DragAnalyzer, ParallelConfig, VmConfig};
 use heapdrag::obs::{Registry, Snapshot};
 use heapdrag::vm::{OpcodeClass, SiteId};
 use heapdrag::workloads::workload_by_name;
@@ -151,6 +151,97 @@ fn offline_reconcilable_surface_is_shard_invariant() {
     for shards in [4usize, 7] {
         let got = stable(&offline_snapshot(&log_text, shards));
         assert_eq!(want, got, "--shards {shards} changed a non-timing metric");
+    }
+}
+
+#[test]
+fn salvaged_corrupt_logs_are_shard_invariant_end_to_end() {
+    // Salvage parity: deterministic corruptions of a real workload's log
+    // must produce the same ParsedLog, the same SalvageSummary, the same
+    // `heapdrag_salvage_*` metric snapshot, and a byte-identical rendered
+    // report at --shards 1/4/7. The chunk size is pinned because error
+    // chunk indices follow the chunking, which the scan (not the worker
+    // count) decides.
+    let w = workload_by_name("jess").expect("workload exists");
+    let run = profile_with(
+        &w.original(),
+        &(w.default_input)(),
+        VmConfig::profiling(),
+        None,
+    )
+    .expect("profiles");
+    let clean = write_log(&run, &w.original());
+
+    // Three deterministic corruptions: a 60% truncation, a deleted record
+    // line mid-file, and a duplicated block of lines.
+    let truncated = clean[..clean.len() * 60 / 100].to_string();
+    let deleted = {
+        let lines: Vec<&str> = clean.split_inclusive('\n').collect();
+        let mut out = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            if i != lines.len() / 2 {
+                out.push_str(l);
+            }
+        }
+        out
+    };
+    let duplicated = {
+        let lines: Vec<&str> = clean.split_inclusive('\n').collect();
+        let mid = lines.len() / 3;
+        let mut out: String = lines[..mid + 4].concat();
+        out.push_str(&lines[mid..mid + 4].concat());
+        out.push_str(&lines[mid + 4..].concat());
+        out
+    };
+
+    for (what, text) in [
+        ("truncated", &truncated),
+        ("deleted-line", &deleted),
+        ("duplicated-block", &duplicated),
+    ] {
+        let ingest = |shards: usize| {
+            let par = ParallelConfig {
+                shards,
+                chunk_records: 256,
+            };
+            let ingested =
+                ingest_log(text, &par, &IngestConfig::salvage()).expect("salvage succeeds");
+            let (report, _) = DragAnalyzer::new().analyze_sharded(
+                &ingested.log.records,
+                |c| Some(SiteId(c.0)),
+                &par,
+            );
+            let rendered = render(&report, &ingested.log, 10) + &ingested.salvage.render_footer();
+            let registry = Registry::new();
+            ingested.salvage.publish_metrics(&registry);
+            (ingested.log, ingested.salvage, rendered, registry.render_json())
+        };
+        let baseline = ingest(1);
+        // Deleting or duplicating a *complete* well-formed line can be
+        // invisible (a missing record) or only show as duplicates; a 60%
+        // byte truncation always tears a line and loses the end marker.
+        if what == "truncated" {
+            assert!(
+                !baseline.1.is_clean(),
+                "{what}: corruption must be visible to salvage"
+            );
+        }
+        for shards in [4usize, 7] {
+            let got = ingest(shards);
+            assert_eq!(got.0, baseline.0, "{what}: ParsedLog at --shards {shards}");
+            assert_eq!(
+                got.1, baseline.1,
+                "{what}: SalvageSummary at --shards {shards}"
+            );
+            assert_eq!(
+                got.2, baseline.2,
+                "{what}: rendered report at --shards {shards}"
+            );
+            assert_eq!(
+                got.3, baseline.3,
+                "{what}: salvage metrics at --shards {shards}"
+            );
+        }
     }
 }
 
