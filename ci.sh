@@ -12,10 +12,13 @@
 #      that the sharded report is byte-identical to the sequential one
 #   6. a metrics smoke: both phases write --metrics-out snapshots and the
 #      jq-free metrics_check example verifies they reconcile exactly
-#   7. a salvage smoke: a generated log truncated at three offsets must
-#      fail strict parsing with a stable E0xx code, succeed under
-#      --salvage, and render footers byte-identical to the committed
-#      golden (tests/golden/salvage_smoke.txt)
+#   7. a cross-format smoke: the same workload profiled to a text and to a
+#      binary (HDLOG v2) log must yield byte-identical reports, with the
+#      read side autodetecting the format, at every shard count
+#   8. a salvage smoke: generated logs of both formats truncated at three
+#      offsets must fail strict parsing with a stable E0xx code, succeed
+#      under --salvage, and render footers byte-identical to the
+#      committed golden (tests/golden/salvage_smoke.txt)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -66,27 +69,43 @@ grep -q '^# TYPE heapdrag_objects_created_total counter' "$tmp/offline.prom"
 cargo run -q --release --example metrics_check -- \
     "$tmp/online.json" "$tmp/offline.json"
 
+echo "== smoke: cross-format codec =="
+"$bin" profile examples/dragged.hdj -o "$tmp/smoke-bin.log" --log-format binary
+# The binary log carries the HDLOG v2 magic and beats the text encoding
+# on size; the read side autodetects, so reports from either format must
+# be byte-identical at every shard count.
+head -c 8 "$tmp/smoke-bin.log" | od -An -tx1 | tr -d ' \n' | grep -q '^8948444c47320d0a$'
+[ "$(wc -c < "$tmp/smoke-bin.log")" -lt "$(wc -c < "$tmp/smoke.log")" ]
+"$bin" report "$tmp/smoke.log" --top 5 > "$tmp/report-text.txt"
+"$bin" report "$tmp/smoke-bin.log" --top 5 > "$tmp/report-bin.txt"
+diff -u "$tmp/report-text.txt" "$tmp/report-bin.txt"
+"$bin" report "$tmp/smoke-bin.log" --top 5 --shards 4 --chunk-records 64 \
+    > "$tmp/report-bin-par.txt"
+diff -u "$tmp/report-text.txt" "$tmp/report-bin-par.txt"
+
 echo "== smoke: salvage ingestion =="
-# Truncate the (deterministic) smoke log at three byte offsets. Strict
-# parsing must reject every prefix with a stable E0xx code; salvage must
-# ingest it, and the three summary footers must match the committed
-# golden byte for byte.
-size=$(wc -c < "$tmp/smoke.log")
+# Truncate the (deterministic) smoke logs — text and binary — at three
+# byte offsets. Strict parsing must reject every prefix with a stable
+# E0xx code; salvage must ingest it, and the summary footers must match
+# the committed golden byte for byte.
 : > "$tmp/salvage-footers.txt"
-for pct in 40 60 85; do
-    head -c $(( size * pct / 100 )) "$tmp/smoke.log" > "$tmp/cut.log"
-    if "$bin" report "$tmp/cut.log" --top 5 > /dev/null 2> "$tmp/strict-err.txt"; then
-        echo "strict parsing accepted a truncated log (${pct}%)" >&2
-        exit 1
-    fi
-    grep -qE '\[E0[0-9]{2}\]' "$tmp/strict-err.txt" || {
-        echo "strict failure lacks a stable error code (${pct}%):" >&2
-        cat "$tmp/strict-err.txt" >&2
-        exit 1
-    }
-    echo "### truncated at ${pct}%" >> "$tmp/salvage-footers.txt"
-    "$bin" report "$tmp/cut.log" --top 5 --salvage --shards 3 \
-        | sed -n '/^--- salvage summary ---$/,$p' >> "$tmp/salvage-footers.txt"
+for log in smoke smoke-bin; do
+    size=$(wc -c < "$tmp/$log.log")
+    for pct in 40 60 85; do
+        head -c $(( size * pct / 100 )) "$tmp/$log.log" > "$tmp/cut.log"
+        if "$bin" report "$tmp/cut.log" --top 5 > /dev/null 2> "$tmp/strict-err.txt"; then
+            echo "strict parsing accepted a truncated log ($log ${pct}%)" >&2
+            exit 1
+        fi
+        grep -qE '\[E0[0-9]{2}\]' "$tmp/strict-err.txt" || {
+            echo "strict failure lacks a stable error code ($log ${pct}%):" >&2
+            cat "$tmp/strict-err.txt" >&2
+            exit 1
+        }
+        echo "### $log truncated at ${pct}%" >> "$tmp/salvage-footers.txt"
+        "$bin" report "$tmp/cut.log" --top 5 --salvage --shards 3 \
+            | sed -n '/^--- salvage summary ---$/,$p' >> "$tmp/salvage-footers.txt"
+    done
 done
 diff -u tests/golden/salvage_smoke.txt "$tmp/salvage-footers.txt"
 

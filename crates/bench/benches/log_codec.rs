@@ -1,0 +1,103 @@
+//! Trace codec comparison: text "heapdrag-log v1" versus binary HDLOG v2,
+//! for the EXPERIMENTS.md "log codec" table.
+//!
+//! For jess, jack, and juru this profiles the workload once, encodes the
+//! trailer log in both formats, and measures for each format the on-disk
+//! size, the encode throughput, and the strict-ingest throughput (best of
+//! `REPS` timed runs, single-shard so the numbers reflect the codec and
+//! not the thread pool). Byte-identical reports from both formats are
+//! asserted while measuring, so the table cannot silently compare logs
+//! that decode to different analyses.
+//!
+//! The profiled runs are deterministic (the VM clock is allocation-driven),
+//! so sizes and ratios are stable across runs and machines; only the
+//! timings vary with the host.
+
+use std::time::{Duration, Instant};
+
+use heapdrag_core::log::{ingest_log, write_log_to, IngestConfig};
+use heapdrag_core::{profile, DragAnalyzer, LogFormat, ParallelConfig, VmConfig};
+use heapdrag_workloads::workload_by_name;
+
+const WORKLOADS: [&str; 3] = ["jess", "jack", "juru"];
+const REPS: usize = 5;
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let mut best: Option<(T, Duration)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        match &best {
+            Some((_, d)) if *d <= elapsed => {}
+            _ => best = Some((out, elapsed)),
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn mib_per_s(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / d.as_secs_f64()
+}
+
+fn main() {
+    println!("## Log codec: text v1 vs binary HDLOG v2\n");
+    println!(
+        "| workload | text bytes | binary bytes | size ratio | text encode | \
+         binary encode | text ingest | binary ingest | ingest speedup |"
+    );
+    println!("|----------|-----------:|-------------:|-----------:|------------:|--------------:|------------:|--------------:|---------------:|");
+
+    let par = ParallelConfig::sequential();
+    for name in WORKLOADS {
+        let w = workload_by_name(name).expect("workload exists");
+        let program = w.original();
+        let run = profile(&program, &(w.default_input)(), VmConfig::profiling())
+            .expect("workload profiles");
+
+        let encode = |format: LogFormat| {
+            let mut buf = Vec::new();
+            write_log_to(&run, &program, format, &mut buf).expect("Vec sink cannot fail");
+            buf
+        };
+        let (text, text_enc) = best_of(REPS, || encode(LogFormat::Text));
+        let (binary, bin_enc) = best_of(REPS, || encode(LogFormat::Binary));
+
+        let ingest = |bytes: &[u8]| {
+            ingest_log(bytes, &par, &IngestConfig::strict()).expect("clean log parses strictly")
+        };
+        let (from_text, text_dec) = best_of(REPS, || ingest(&text));
+        let (from_binary, bin_dec) = best_of(REPS, || ingest(&binary));
+
+        // The whole comparison is meaningless unless both logs decode to
+        // the same analysis, so assert report parity while measuring.
+        let report = |log: &heapdrag_core::ParsedLog| {
+            let analysis = DragAnalyzer::new()
+                .analyze(&log.records, |c| Some(heapdrag_vm::SiteId(c.0)));
+            heapdrag_core::render(&analysis, log, 10)
+        };
+        assert_eq!(
+            report(&from_text.log),
+            report(&from_binary.log),
+            "{name}: text and binary logs must produce byte-identical reports"
+        );
+
+        let ratio = text.len() as f64 / binary.len() as f64;
+        println!(
+            "| {name} | {} | {} | {ratio:.2}x | {:.0} MiB/s | {:.0} MiB/s | \
+             {:.0} MiB/s | {:.0} MiB/s | {:.2}x |",
+            text.len(),
+            binary.len(),
+            mib_per_s(text.len(), text_enc),
+            mib_per_s(binary.len(), bin_enc),
+            mib_per_s(text.len(), text_dec),
+            mib_per_s(binary.len(), bin_dec),
+            text_dec.as_secs_f64() / bin_dec.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nEncode/ingest rates are each format's own bytes over the best of \
+         {REPS} timed runs (single shard). \"Ingest speedup\" is wall-clock \
+         text-ingest time over binary-ingest time for the same trace."
+    );
+}

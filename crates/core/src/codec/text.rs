@@ -1,0 +1,346 @@
+//! The line-oriented `heapdrag-log v1` text codec.
+//!
+//! One line per directive, whitespace-separated fields, `-` for absent
+//! optional fields:
+//!
+//! ```text
+//! heapdrag-log v1
+//! chain 3 Juru.readDocument@12 "new char[]" <- Juru.run@4
+//! obj 17 8 816 1024 204800 2048 3 5 0
+//! gc 102400 81920 512
+//! end 1048576
+//! ```
+//!
+//! `scan` is the codec's half of the ingest engine: it walks the input
+//! once, parses the header/`chain`/`end` directives in place, and batches
+//! `obj`/`gc` lines into `Chunk`s for the worker pool. [`TextSink`] is
+//! the streaming encoder. See [`crate::log`] for the strict/salvage
+//! semantics shared with the binary codec.
+
+use std::io::{self, Write};
+
+use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
+
+use crate::log::{ErrorCode, LogError};
+use crate::record::{GcSample, ObjectRecord};
+
+use super::{Chunk, ChunkOut, ScanOutput, TraceSink};
+
+/// The line-1 header every v1 text log starts with.
+pub const TEXT_HEADER: &str = "heapdrag-log v1";
+
+/// Streams a trace in the text format to any [`io::Write`].
+#[derive(Debug)]
+pub struct TextSink<W> {
+    writer: W,
+}
+
+impl<W: Write> TextSink<W> {
+    /// Wraps `writer` in a text-format sink.
+    pub fn new(writer: W) -> Self {
+        TextSink { writer }
+    }
+}
+
+impl<W: Write> TraceSink for TextSink<W> {
+    fn begin(&mut self) -> io::Result<()> {
+        writeln!(self.writer, "{TEXT_HEADER}")
+    }
+
+    fn chain(&mut self, id: ChainId, name: &str) -> io::Result<()> {
+        writeln!(self.writer, "chain {} {}", id.0, name)
+    }
+
+    fn record(&mut self, r: &ObjectRecord) -> io::Result<()> {
+        writeln!(
+            self.writer,
+            "obj {} {} {} {} {} {} {} {} {}",
+            r.object.0,
+            r.class.0,
+            r.size,
+            r.created,
+            r.freed,
+            r.last_use.map_or("-".to_string(), |t| t.to_string()),
+            r.alloc_site.0,
+            r.last_use_site.map_or("-".to_string(), |c| c.0.to_string()),
+            r.at_exit as u8,
+        )
+    }
+
+    fn sample(&mut self, s: &GcSample) -> io::Result<()> {
+        writeln!(
+            self.writer,
+            "gc {} {} {}",
+            s.time, s.reachable_bytes, s.reachable_count
+        )
+    }
+
+    fn end(&mut self, end_time: u64) -> io::Result<()> {
+        writeln!(self.writer, "end {end_time}")
+    }
+}
+
+/// One raw input line with its byte extent, as produced by [`SplitLines`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RawLine<'a> {
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Byte offset of the line start.
+    pub(crate) byte: u64,
+    /// Raw byte length, terminator included when present.
+    pub(crate) len: u64,
+    /// Line content, terminator excluded.
+    pub(crate) text: &'a str,
+    /// False only for a final line with no `\n` — a torn write.
+    pub(crate) terminated: bool,
+}
+
+/// Like `str::lines`, but tracking byte offsets and whether each line was
+/// terminated, so torn tails are detectable and skipped bytes countable.
+struct SplitLines<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> SplitLines<'a> {
+    fn new(text: &'a str) -> Self {
+        SplitLines { text, pos: 0, line: 0 }
+    }
+}
+
+impl<'a> Iterator for SplitLines<'a> {
+    type Item = RawLine<'a>;
+
+    fn next(&mut self) -> Option<RawLine<'a>> {
+        if self.pos >= self.text.len() {
+            return None;
+        }
+        let start = self.pos;
+        let rest = &self.text[start..];
+        let (content, len, terminated) = match rest.find('\n') {
+            Some(i) => (&rest[..i], i + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        self.pos = start + len;
+        self.line += 1;
+        Some(RawLine {
+            line: self.line,
+            byte: start as u64,
+            len: len as u64,
+            text: content,
+            terminated,
+        })
+    }
+}
+
+fn field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, LogError> {
+    let word = parts.next().ok_or_else(|| {
+        LogError::new(
+            ErrorCode::MissingField,
+            line,
+            format!("missing field `{what}`"),
+        )
+    })?;
+    word.parse().map_err(|_| {
+        LogError::new(
+            ErrorCode::BadFieldValue,
+            line,
+            format!("bad value `{word}` for `{what}`"),
+        )
+    })
+}
+
+fn opt_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<Option<T>, LogError> {
+    let word = parts.next().ok_or_else(|| {
+        LogError::new(
+            ErrorCode::MissingField,
+            line,
+            format!("missing field `{what}`"),
+        )
+    })?;
+    if word == "-" {
+        return Ok(None);
+    }
+    word.parse().map(Some).map_err(|_| {
+        LogError::new(
+            ErrorCode::BadFieldValue,
+            line,
+            format!("bad value `{word}` for `{what}`"),
+        )
+    })
+}
+
+/// Parses one `obj` line body (after the directive word).
+fn parse_obj<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<ObjectRecord, LogError> {
+    let object = ObjectId(field(parts, n, "object id")?);
+    let class = ClassId(field(parts, n, "class id")?);
+    let size = field(parts, n, "size")?;
+    let created = field(parts, n, "created")?;
+    let freed = field(parts, n, "freed")?;
+    let last_use = opt_field(parts, n, "last use")?;
+    let alloc_site = ChainId(field(parts, n, "alloc chain")?);
+    let last_use_site = opt_field::<u32>(parts, n, "use chain")?.map(ChainId);
+    let at_exit: u8 = field(parts, n, "at-exit flag")?;
+    Ok(ObjectRecord {
+        object,
+        class,
+        size,
+        created,
+        freed,
+        last_use,
+        alloc_site,
+        last_use_site,
+        at_exit: at_exit != 0,
+    })
+}
+
+/// Parses one `gc` line body (after the directive word).
+fn parse_gc<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<GcSample, LogError> {
+    Ok(GcSample {
+        time: field(parts, n, "time")?,
+        reachable_bytes: field(parts, n, "reachable bytes")?,
+        reachable_count: field(parts, n, "reachable count")?,
+    })
+}
+
+/// Decodes one chunk of `obj`/`gc` lines. In strict mode the first bad
+/// line ends the chunk (the sequential scan would stop there too); in
+/// salvage mode bad lines are dropped and counted, and decoding continues.
+pub(crate) fn parse_chunk(lines: &[RawLine<'_>], chunk: usize, salvage: bool) -> ChunkOut {
+    let mut out = ChunkOut::default();
+    for raw in lines {
+        let mut parts = raw.text.split_whitespace();
+        let result = match parts.next() {
+            Some("obj") => parse_obj(&mut parts, raw.line).map(|r| out.records.push(r)),
+            Some("gc") => parse_gc(&mut parts, raw.line).map(|s| out.samples.push(s)),
+            other => unreachable!("chunked line {} is not obj/gc: {other:?}", raw.line),
+        };
+        if let Err(mut e) = result {
+            e.byte = raw.byte;
+            e.chunk = Some(chunk);
+            out.errors.push(e);
+            if !salvage {
+                break;
+            }
+            out.units_dropped += 1;
+            out.bytes_skipped += raw.len;
+        }
+    }
+    out
+}
+
+/// The text codec's scan pass: one walk over the input on the
+/// coordinating thread. The header and the `end`/`chain` directives are
+/// parsed in place (they are rare and carry shared state), while
+/// `obj`/`gc` lines — the bulk of a trace — are batched into chunks of
+/// `chunk_records` lines for the worker pool. In strict mode the scan
+/// aborts at the first scan-level error; in salvage mode bad lines are
+/// dropped and counted.
+pub(crate) fn scan(text: &str, salvage: bool, chunk_records: usize) -> ScanOutput<'_> {
+    let mut out = ScanOutput::new();
+    let mut chunks: Vec<Vec<RawLine<'_>>> = Vec::new();
+    let mut current: Vec<RawLine<'_>> = Vec::new();
+    let mut last_line = 0;
+
+    for raw in SplitLines::new(text) {
+        last_line = raw.line;
+        // A torn tail can only be the final line; drop or abort on it.
+        if !raw.terminated {
+            let mut e = LogError::new(
+                ErrorCode::TornTail,
+                raw.line,
+                "unterminated final line (torn write)".into(),
+            );
+            e.byte = raw.byte;
+            if out.note(e, raw.len, salvage) {
+                break;
+            }
+            continue;
+        }
+        let content = raw.text.trim();
+        if raw.line == 1 {
+            if content == TEXT_HEADER {
+                continue;
+            }
+            let mut e = LogError::new(
+                ErrorCode::BadHeader,
+                raw.line,
+                format!("unrecognised header `{content}`"),
+            );
+            e.byte = raw.byte;
+            if out.note(e, raw.len, salvage) {
+                break;
+            }
+            continue;
+        }
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        match parts.next() {
+            Some("end") => match field(&mut parts, raw.line, "end time") {
+                Ok(t) => {
+                    out.end_time = t;
+                    out.saw_end = true;
+                }
+                Err(mut e) => {
+                    e.byte = raw.byte;
+                    if out.note(e, raw.len, salvage) {
+                        break;
+                    }
+                }
+            },
+            Some("chain") => match field::<u32>(&mut parts, raw.line, "chain id") {
+                Ok(id) => {
+                    let rest: Vec<&str> = parts.collect();
+                    out.chain_names.insert(ChainId(id), rest.join(" "));
+                }
+                Err(mut e) => {
+                    e.byte = raw.byte;
+                    if out.note(e, raw.len, salvage) {
+                        break;
+                    }
+                }
+            },
+            Some("obj") | Some("gc") => {
+                current.push(raw);
+                if current.len() >= chunk_records {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            Some(other) => {
+                let mut e = LogError::new(
+                    ErrorCode::UnknownDirective,
+                    raw.line,
+                    format!("unknown directive `{other}`"),
+                );
+                e.byte = raw.byte;
+                if out.note(e, raw.len, salvage) {
+                    break;
+                }
+            }
+            None => {}
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    out.chunks = chunks.into_iter().map(Chunk::Lines).collect();
+    out.next_position = (last_line + 1, text.len() as u64);
+    out
+}

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod codec;
 pub mod compare;
 pub mod histogram;
 pub mod integrals;
@@ -72,12 +73,13 @@ pub mod report;
 pub mod timeline;
 
 pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
+pub use codec::{BinarySink, LogFormat, TextSink, TraceSink};
 pub use compare::SavingsReport;
 pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
 pub use log::{
-    ingest_log, parse_log, parse_log_sharded, write_log, ErrorCode, IngestConfig, IngestMode,
-    Ingested, LogError, ParsedLog, SalvageSummary,
+    ingest_log, parse_log, parse_log_sharded, write_log, write_log_binary, write_log_to,
+    ErrorCode, IngestConfig, IngestMode, Ingested, LogError, ParsedLog, SalvageSummary,
 };
 pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};

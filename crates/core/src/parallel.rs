@@ -4,10 +4,14 @@
 //! The off-line phase (§2.2) has two data-parallel stages:
 //!
 //! 1. **Parse** ([`log::parse_log_sharded`](crate::log::parse_log_sharded))
-//!    — the header, `end`, and `chain` directives are parsed once on the
-//!    coordinating thread while `obj`/`gc` record lines are batched into
-//!    chunks of [`ParallelConfig::chunk_records`] lines and decoded on
-//!    worker threads.
+//!    — shared state (the header, chain table, and end marker) is parsed
+//!    once on the coordinating thread while record-bearing units are
+//!    batched into chunks of [`ParallelConfig::chunk_records`] units and
+//!    decoded on worker threads. Chunk boundaries follow the input's own
+//!    structure — line boundaries for the text format, *frame* boundaries
+//!    for HDLOG v2 binary logs (the scan hops length prefixes; workers
+//!    never search the input for delimiters) — so chunking, and therefore
+//!    every result, is independent of the worker count.
 //! 2. **Aggregate** ([`DragAnalyzer::analyze_sharded`](crate::analyzer::DragAnalyzer::analyze_sharded))
 //!    — the record slice is split into [`ParallelConfig::shards`]
 //!    contiguous shards, each accumulated into partial per-site groups on
@@ -27,7 +31,8 @@ pub struct ParallelConfig {
     /// Number of worker shards. `1` (the default) is the sequential path;
     /// `0` is treated as `1`.
     pub shards: usize,
-    /// Records per parse chunk — the work-unit handed to parse workers.
+    /// Record-bearing units (text lines or binary frames) per parse chunk
+    /// — the work-unit handed to parse workers.
     pub chunk_records: usize,
 }
 

@@ -202,6 +202,25 @@ pub struct ProfileRun {
     pub outcome: RunOutcome,
 }
 
+impl ProfileRun {
+    /// Streams this run's trace to `writer` in `format` — the profiler's
+    /// phase-1 output path. Delegates to [`crate::log::write_log_to`]; the
+    /// trace goes through a streaming [`crate::codec::TraceSink`], so it
+    /// never materialises as one in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_log_to<W: std::io::Write>(
+        &self,
+        program: &Program,
+        format: crate::codec::LogFormat,
+        writer: W,
+    ) -> std::io::Result<u64> {
+        crate::log::write_log_to(self, program, format, writer)
+    }
+}
+
 /// Runs `program` under the drag profiler.
 ///
 /// `config` is usually [`VmConfig::profiling`] (deep GC every 100 KB); the

@@ -1,10 +1,11 @@
-//! Seeded fault injection for text-based trace formats.
+//! Seeded fault injection for trace logs, text and binary.
 //!
-//! Each [`Fault`] is a deterministic mutator over a log string: given the
-//! same input and the same [`Rng`] state it produces the same corruption,
-//! so a failing property case replays exactly from its seed. The faults
-//! model what crashed, killed, and out-of-disk runs actually do to
-//! line-oriented logs:
+//! Each mutator is deterministic: given the same input and the same
+//! [`Rng`] state it produces the same corruption, so a failing property
+//! case replays exactly from its seed. The faults model what crashed,
+//! killed, and out-of-disk runs actually do to trace files.
+//!
+//! For line-oriented text logs ([`Fault`], [`inject`]):
 //!
 //! * [`Fault::TruncateAtByte`] — the file simply stops (kill -9, ENOSPC).
 //! * [`Fault::FlipByte`] — a character is replaced (bit rot, bad copy).
@@ -13,6 +14,15 @@
 //!   write buffer after a partial flush).
 //! * [`Fault::TornTail`] — the final line is cut mid-write, leaving no
 //!   terminator.
+//!
+//! For length-prefixed HDLOG v2 binary logs ([`BinaryFault`],
+//! [`inject_binary`]), the same failure modes expressed at the frame
+//! level: truncation at an arbitrary byte or strictly inside a frame, a
+//! corrupted length prefix (framing lost), a flipped checksum or payload
+//! byte, and whole frames deleted or replayed. The injector carries its
+//! own minimal frame walker — tag byte, LEB128 length prefix, payload,
+//! 2-byte checksum — so the testkit stays dependency-free and the walker
+//! is an oracle of the frame grammar independent of the codec under test.
 //!
 //! All mutators are total: on inputs too small to corrupt meaningfully
 //! they degrade gracefully (possibly to a no-op) instead of panicking, so
@@ -222,6 +232,305 @@ pub fn inject(text: &str, fault: Fault, rng: &mut Rng) -> (String, FaultReport) 
     }
 }
 
+/// A kind of corruption to inject into an HDLOG v2 binary log. Each one
+/// is the frame-level expression of a real failure mode; see the module
+/// docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryFault {
+    /// Cut the log at a random byte — anywhere, including inside the
+    /// magic (kill -9, ENOSPC).
+    TruncateAtByte,
+    /// Cut strictly inside a random frame, so every earlier frame stays
+    /// intact (the torn final write).
+    TruncateMidFrame,
+    /// Overwrite the first byte of a frame's length prefix, destroying
+    /// framing from that frame on.
+    CorruptFrameLength,
+    /// Flip one of the two stored checksum bytes of a frame — the payload
+    /// is untouched, so the frame is dropped whole, never altered.
+    FlipChecksumByte,
+    /// Flip one payload byte of a frame (bit rot the checksum is there to
+    /// catch).
+    FlipPayloadByte,
+    /// Remove one whole frame (dropped write buffer).
+    DeleteFrame,
+    /// Duplicate a run of 1–8 consecutive frames in place (replayed write
+    /// buffer after a partial flush).
+    DuplicateFrames,
+}
+
+impl BinaryFault {
+    /// Every binary fault kind, for exhaustive property sweeps.
+    pub const ALL: [BinaryFault; 7] = [
+        BinaryFault::TruncateAtByte,
+        BinaryFault::TruncateMidFrame,
+        BinaryFault::CorruptFrameLength,
+        BinaryFault::FlipChecksumByte,
+        BinaryFault::FlipPayloadByte,
+        BinaryFault::DeleteFrame,
+        BinaryFault::DuplicateFrames,
+    ];
+
+    /// A short kebab-case name for case labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryFault::TruncateAtByte => "truncate-at-byte",
+            BinaryFault::TruncateMidFrame => "truncate-mid-frame",
+            BinaryFault::CorruptFrameLength => "corrupt-frame-length",
+            BinaryFault::FlipChecksumByte => "flip-checksum-byte",
+            BinaryFault::FlipPayloadByte => "flip-payload-byte",
+            BinaryFault::DeleteFrame => "delete-frame",
+            BinaryFault::DuplicateFrames => "duplicate-frames",
+        }
+    }
+
+    /// True for the faults that only *remove or repeat* intact frames:
+    /// any record surviving them is verbatim from the clean log.
+    /// [`BinaryFault::FlipPayloadByte`] and
+    /// [`BinaryFault::CorruptFrameLength`] are excluded — a flipped
+    /// payload byte survives as a *different* record if the folded 16-bit
+    /// checksum collides (once in 65536), and a corrupted length can
+    /// splice arbitrary bytes into frame positions.
+    pub fn is_structural(self) -> bool {
+        !matches!(
+            self,
+            BinaryFault::FlipPayloadByte | BinaryFault::CorruptFrameLength
+        )
+    }
+}
+
+/// What [`inject_binary`] actually did; the binary analogue of
+/// [`FaultReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryFaultReport {
+    /// The fault that was injected.
+    pub fault: BinaryFault,
+    /// Byte offset where the corruption starts.
+    pub offset: usize,
+    /// Bytes removed, replaced, or inserted (0 for a no-op degrade).
+    pub len: usize,
+}
+
+/// The eight magic bytes of an HDLOG v2 log. Kept in sync with the codec
+/// by a cross-crate test; duplicated here so the testkit stays
+/// dependency-free.
+pub const HDLOG2_MAGIC: [u8; 8] = [0x89, b'H', b'D', b'L', b'G', b'2', 0x0D, 0x0A];
+
+/// One well-formed frame located by [`frame_spans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameSpan {
+    /// Offset of the tag byte.
+    start: usize,
+    /// Offset of the first payload byte.
+    payload_start: usize,
+    /// Offset one past the last payload byte (= offset of the checksum).
+    payload_end: usize,
+    /// Offset one past the checksum — the next frame's start.
+    end: usize,
+}
+
+/// Minimal LEB128 reader: value plus bytes consumed, `None` on overflow
+/// or a varint that runs off the slice.
+fn read_varint(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        if shift >= 64 || (shift == 63 && b & 0x7f > 1) {
+            return None;
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some((value, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Walks the frame stream, returning the spans of every structurally
+/// complete frame (checksums are *not* verified — framing only). Stops at
+/// the first byte that cannot be framed; an input without the magic has
+/// no frames.
+fn frame_spans(bytes: &[u8]) -> Vec<FrameSpan> {
+    let mut spans = Vec::new();
+    if !bytes.starts_with(&HDLOG2_MAGIC) {
+        return spans;
+    }
+    let mut pos = HDLOG2_MAGIC.len();
+    while pos < bytes.len() {
+        let Some((payload_len, len_used)) = read_varint(&bytes[pos + 1..]) else {
+            break;
+        };
+        let payload_start = pos + 1 + len_used;
+        let Some(payload_end) = payload_start.checked_add(payload_len as usize) else {
+            break;
+        };
+        let Some(end) = payload_end.checked_add(2) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        spans.push(FrameSpan {
+            start: pos,
+            payload_start,
+            payload_end,
+            end,
+        });
+        pos = end;
+    }
+    spans
+}
+
+/// The `(start, end, tag)` byte extents of every structurally complete
+/// frame in `bytes` — the walker behind the binary injectors, exposed so
+/// property tests can reason about which frames a corruption left intact
+/// (e.g. "every complete `obj` frame before the cut must be salvaged").
+/// Checksums are not verified; an input without the magic has no frames.
+pub fn complete_frames(bytes: &[u8]) -> Vec<(usize, usize, u8)> {
+    frame_spans(bytes)
+        .into_iter()
+        .map(|f| (f.start, f.end, bytes[f.start]))
+        .collect()
+}
+
+/// Applies one seeded binary `fault` to `bytes`, returning the corrupted
+/// log and a [`BinaryFaultReport`] of what was done. Deterministic in
+/// `(bytes, fault, rng state)`; total on every input including streams
+/// without the magic (frame-targeting faults degrade to a no-op there).
+pub fn inject_binary(
+    bytes: &[u8],
+    fault: BinaryFault,
+    rng: &mut Rng,
+) -> (Vec<u8>, BinaryFaultReport) {
+    let noop = |bytes: &[u8]| {
+        (
+            bytes.to_vec(),
+            BinaryFaultReport {
+                fault,
+                offset: 0,
+                len: 0,
+            },
+        )
+    };
+    let spans = frame_spans(bytes);
+    match fault {
+        BinaryFault::TruncateAtByte => {
+            if bytes.len() < 2 {
+                return noop(bytes);
+            }
+            let cut = rng.range_usize(1, bytes.len());
+            let report = BinaryFaultReport {
+                fault,
+                offset: cut,
+                len: bytes.len() - cut,
+            };
+            (bytes[..cut].to_vec(), report)
+        }
+        BinaryFault::TruncateMidFrame => {
+            let Some(&f) = spans.as_slice().get(rng.range_usize(0, spans.len().max(1))) else {
+                return noop(bytes);
+            };
+            let cut = rng.range_usize(f.start + 1, f.end);
+            let report = BinaryFaultReport {
+                fault,
+                offset: cut,
+                len: bytes.len() - cut,
+            };
+            (bytes[..cut].to_vec(), report)
+        }
+        BinaryFault::CorruptFrameLength => {
+            let Some(&f) = spans.as_slice().get(rng.range_usize(0, spans.len().max(1))) else {
+                return noop(bytes);
+            };
+            let mut out = bytes.to_vec();
+            // Set the continuation bit and scramble the low bits: the
+            // prefix now decodes to a different (usually huge) length or
+            // to no varint at all.
+            out[f.start + 1] = 0x80 | rng.range_u8(0, 0x80);
+            if out[f.start + 1] == bytes[f.start + 1] {
+                out[f.start + 1] ^= 0x41;
+            }
+            let report = BinaryFaultReport {
+                fault,
+                offset: f.start + 1,
+                len: 1,
+            };
+            (out, report)
+        }
+        BinaryFault::FlipChecksumByte => {
+            let Some(&f) = spans.as_slice().get(rng.range_usize(0, spans.len().max(1))) else {
+                return noop(bytes);
+            };
+            let at = f.payload_end + rng.range_usize(0, 2);
+            let mut out = bytes.to_vec();
+            out[at] ^= rng.range_u8(1, 0xff);
+            let report = BinaryFaultReport {
+                fault,
+                offset: at,
+                len: 1,
+            };
+            (out, report)
+        }
+        BinaryFault::FlipPayloadByte => {
+            // Only frames with a payload qualify; a log of empty payloads
+            // degrades to a no-op.
+            let with_payload: Vec<FrameSpan> = spans
+                .into_iter()
+                .filter(|f| f.payload_end > f.payload_start)
+                .collect();
+            let Some(&f) = with_payload
+                .as_slice()
+                .get(rng.range_usize(0, with_payload.len().max(1)))
+            else {
+                return noop(bytes);
+            };
+            let at = rng.range_usize(f.payload_start, f.payload_end);
+            let mut out = bytes.to_vec();
+            out[at] ^= rng.range_u8(1, 0xff);
+            let report = BinaryFaultReport {
+                fault,
+                offset: at,
+                len: 1,
+            };
+            (out, report)
+        }
+        BinaryFault::DeleteFrame => {
+            let Some(&f) = spans.as_slice().get(rng.range_usize(0, spans.len().max(1))) else {
+                return noop(bytes);
+            };
+            let mut out = Vec::with_capacity(bytes.len() - (f.end - f.start));
+            out.extend_from_slice(&bytes[..f.start]);
+            out.extend_from_slice(&bytes[f.end..]);
+            let report = BinaryFaultReport {
+                fault,
+                offset: f.start,
+                len: f.end - f.start,
+            };
+            (out, report)
+        }
+        BinaryFault::DuplicateFrames => {
+            if spans.is_empty() {
+                return noop(bytes);
+            }
+            let first = rng.range_usize(0, spans.len());
+            let count = rng.range_usize(1, 9.min(spans.len() - first + 1));
+            let start = spans[first].start;
+            let end = spans[first + count - 1].end;
+            let mut out = Vec::with_capacity(bytes.len() + (end - start));
+            out.extend_from_slice(&bytes[..end]);
+            out.extend_from_slice(&bytes[start..end]);
+            out.extend_from_slice(&bytes[end..]);
+            let report = BinaryFaultReport {
+                fault,
+                offset: end,
+                len: end - start,
+            };
+            (out, report)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +624,163 @@ mod tests {
         assert_eq!(
             Fault::ALL.iter().filter(|f| f.is_structural()).count(),
             4
+        );
+    }
+
+    /// A structurally valid HDLOG v2 stream: magic plus four frames with
+    /// 1-byte length prefixes. Checksums are dummies — the walker frames,
+    /// it does not verify.
+    fn binary_log() -> Vec<u8> {
+        let mut buf = HDLOG2_MAGIC.to_vec();
+        for (tag, payload) in [
+            (0x01u8, &b"\x00Main.main"[..]),
+            (0x02, &b"\x01\x02\x10\x05\x07\x00\x00\x00\x00"[..]),
+            (0x03, &b"\x05\x20\x02"[..]),
+            (0x04, &b"\x64"[..]),
+        ] {
+            buf.push(tag);
+            buf.push(payload.len() as u8);
+            buf.extend_from_slice(payload);
+            buf.extend_from_slice(&[0xAA, 0xBB]); // dummy checksum
+        }
+        buf
+    }
+
+    #[test]
+    fn walker_frames_the_sample_stream() {
+        let log = binary_log();
+        let spans = frame_spans(&log);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].start, HDLOG2_MAGIC.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "frames are contiguous");
+        }
+        assert_eq!(spans.last().unwrap().end, log.len());
+        // No magic, no frames; a torn final frame is not a span.
+        assert!(frame_spans(b"not a log").is_empty());
+        assert_eq!(frame_spans(&log[..log.len() - 1]).len(), 3);
+    }
+
+    #[test]
+    fn all_binary_faults_are_total_on_degenerate_inputs() {
+        for fault in BinaryFault::ALL {
+            for input in [&b""[..], &b"\x89"[..], &HDLOG2_MAGIC[..], b"text log\n"] {
+                let mut rng = Rng::new(7);
+                let (out, report) = inject_binary(input, fault, &mut rng);
+                assert_eq!(report.fault, fault);
+                if report.len == 0 {
+                    assert_eq!(out, input, "{}: no-op must return input", fault.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_truncation_keeps_earlier_frames_intact() {
+        let log = binary_log();
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject_binary(&log, BinaryFault::TruncateMidFrame, &mut rng);
+            assert!(out.len() < log.len());
+            assert_eq!(out, &log[..report.offset]);
+            // Every span of the truncated stream was a span of the clean one.
+            let kept = frame_spans(&out);
+            let clean = frame_spans(&log);
+            assert_eq!(kept.as_slice(), &clean[..kept.len()]);
+        }
+    }
+
+    #[test]
+    fn checksum_and_payload_flips_change_exactly_one_byte() {
+        let log = binary_log();
+        let spans = frame_spans(&log);
+        for fault in [BinaryFault::FlipChecksumByte, BinaryFault::FlipPayloadByte] {
+            for seed in 0..64 {
+                let mut rng = Rng::new(seed);
+                let (out, report) = inject_binary(&log, fault, &mut rng);
+                assert_eq!(out.len(), log.len());
+                let diff: Vec<usize> = (0..log.len()).filter(|&i| out[i] != log[i]).collect();
+                assert_eq!(diff, vec![report.offset], "{}", fault.name());
+                let f = spans
+                    .iter()
+                    .find(|f| f.start <= report.offset && report.offset < f.end)
+                    .expect("flip lands inside a frame");
+                match fault {
+                    BinaryFault::FlipChecksumByte => assert!(report.offset >= f.payload_end),
+                    _ => assert!(
+                        (f.payload_start..f.payload_end).contains(&report.offset),
+                        "payload flip must land in the payload"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_frame_removes_one_whole_frame() {
+        let log = binary_log();
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject_binary(&log, BinaryFault::DeleteFrame, &mut rng);
+            assert_eq!(out.len(), log.len() - report.len);
+            let clean = frame_spans(&log);
+            assert!(clean
+                .iter()
+                .any(|f| f.start == report.offset && f.end - f.start == report.len));
+            assert_eq!(frame_spans(&out).len(), clean.len() - 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_frames_repeats_a_contiguous_run() {
+        let log = binary_log();
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject_binary(&log, BinaryFault::DuplicateFrames, &mut rng);
+            assert_eq!(out.len(), log.len() + report.len);
+            assert_eq!(
+                &out[report.offset..report.offset + report.len],
+                &out[report.offset - report.len..report.offset],
+                "the inserted run repeats the bytes just before it"
+            );
+            assert!(frame_spans(&out).len() > frame_spans(&log).len());
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_changes_the_length_byte() {
+        let log = binary_log();
+        for seed in 0..64 {
+            let mut rng = Rng::new(seed);
+            let (out, report) = inject_binary(&log, BinaryFault::CorruptFrameLength, &mut rng);
+            assert_eq!(out.len(), log.len());
+            assert_ne!(out[report.offset], log[report.offset]);
+            assert!(out[report.offset] & 0x80 != 0, "continuation bit is set");
+            let spans = frame_spans(&log);
+            assert!(spans.iter().any(|f| f.start + 1 == report.offset));
+        }
+    }
+
+    #[test]
+    fn binary_injection_is_deterministic_in_the_seed() {
+        let log = binary_log();
+        for fault in BinaryFault::ALL {
+            let mut a = Rng::new(99);
+            let mut b = Rng::new(99);
+            assert_eq!(
+                inject_binary(&log, fault, &mut a),
+                inject_binary(&log, fault, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn binary_structural_classification() {
+        assert!(!BinaryFault::FlipPayloadByte.is_structural());
+        assert!(!BinaryFault::CorruptFrameLength.is_structural());
+        assert_eq!(
+            BinaryFault::ALL.iter().filter(|f| f.is_structural()).count(),
+            5
         );
     }
 }

@@ -13,9 +13,10 @@
 //!   from a base seed, hands a fresh [`Rng`] to the property closure, and
 //!   on panic reports the case number and failing seed so the case can be
 //!   replayed with `TESTKIT_SEED=<seed> TESTKIT_CASES=1`.
-//! * [`fault`] — seeded log corruptors ([`Fault`], [`inject`]) modelling
-//!   what crashed/killed/out-of-disk runs do to line-oriented trace
-//!   files, for exercising the salvage parser.
+//! * [`fault`] — seeded log corruptors modelling what
+//!   crashed/killed/out-of-disk runs do to trace files, for exercising
+//!   the salvage parser: [`Fault`]/[`inject`] for line-oriented text
+//!   logs, [`BinaryFault`]/[`inject_binary`] for HDLOG v2 frame streams.
 //!
 //! ```
 //! use heapdrag_testkit::{check, Rng};
@@ -33,6 +34,8 @@ pub mod fault;
 pub mod rng;
 pub mod runner;
 
-pub use fault::{inject, Fault, FaultReport};
+pub use fault::{
+    complete_frames, inject, inject_binary, BinaryFault, BinaryFaultReport, Fault, FaultReport,
+};
 pub use rng::Rng;
 pub use runner::{check, check_with, Config};

@@ -3,30 +3,39 @@
 //!
 //! ```text
 //! heapdrag run      <prog.hdasm> [input ints…]
-//! heapdrag profile  <prog.hdasm> -o <out.log> [--interval-kb N] [input ints…]
+//! heapdrag profile  <prog.hdasm> -o <out.log> [--log-format text|binary] [--interval-kb N] [input ints…]
 //! heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
 //! heapdrag timeline <prog.hdasm> [input ints…]
 //! heapdrag optimize <prog.hdasm> -o <out.hdasm> [input ints…]
 //! ```
+//!
+//! `profile --log-format binary` writes the compact HDLOG v2 frame format
+//! instead of the default text log; either way the trace streams straight
+//! to the output file. Log-reading commands autodetect the format from the
+//! file's first bytes, so no flag is needed on the read side. The report
+//! is byte-identical whichever format carried the trace.
 //!
 //! `--shards N` runs the off-line phase (log decoding and per-site
 //! aggregation) on N worker threads; the report is byte-identical to the
 //! sequential one. `--verbose-metrics` prints per-shard timings to stderr,
 //! and `--metrics-out <path>` writes a metrics snapshot of whichever phase
 //! ran — stable JSON by default, Prometheus text if the path ends in
-//! `.prom`.
+//! `.prom`. Log I/O publishes `heapdrag_log_bytes_total{format="..."}`
+//! plus `heapdrag_log_encode_us`/`heapdrag_log_decode_us` codec timings.
 //!
 //! Log-reading commands default to strict parsing (`--strict`): the first
 //! malformed line aborts with a stable `E0xx` error code. `--salvage`
-//! ingests damaged logs instead — corrupt lines are dropped, a missing
-//! end-of-log marker is repaired — and appends a salvage summary footer to
-//! the report; `--max-errors N` bounds how much corruption salvage will
-//! tolerate.
+//! ingests damaged logs instead — corrupt lines/frames are dropped, a
+//! missing end-of-log marker is repaired — and appends a salvage summary
+//! footer (which names the detected input format) to the report;
+//! `--max-errors N` bounds how much corruption salvage will tolerate.
 
 use std::process::ExitCode;
 
-use heapdrag::core::log::{ingest_log, write_log, IngestConfig, IngestMode, SalvageSummary};
-use heapdrag::core::{profile_with, render, DragAnalyzer, ParallelConfig, Timeline, VmConfig};
+use heapdrag::core::log::{ingest_log, IngestConfig, IngestMode, SalvageSummary};
+use heapdrag::core::{
+    profile_with, render, DragAnalyzer, LogFormat, ParallelConfig, Timeline, VmConfig,
+};
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
@@ -36,7 +45,8 @@ use heapdrag::vm::{Program, SiteId, Vm, VmConfig as RawConfig};
 const USAGE: &str = "usage:
   heapdrag run      <prog> [input ints...]
   heapdrag compile  <prog.hdj> -o <out.hdasm>
-  heapdrag profile  <prog> -o <out.log> [--interval-kb N] [input ints...]
+  heapdrag profile  <prog> -o <out.log> [--log-format text|binary]
+                    [--interval-kb N] [input ints...]
   heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
   heapdrag inspect  <log file> <rank> [--shards N]   (lifetime histograms of the rank-th site)
   heapdrag timeline <prog> [input ints...]
@@ -46,6 +56,11 @@ common flags:
   --metrics-out <path>   write a metrics snapshot on exit (JSON; Prometheus
                          text format if <path> ends in .prom)
   --verbose-metrics      print per-shard parse/analyze timings to stderr
+
+profile flags:
+  --log-format <fmt>     trace encoding: `text` (heapdrag-log v1, the
+                         default) or `binary` (HDLOG v2 frames, ~2x
+                         smaller and faster to ingest); readers autodetect
 
 log ingestion flags (report / inspect):
   --strict               abort at the first malformed log line (default)
@@ -64,6 +79,7 @@ struct Args {
     parallel: ParallelConfig,
     ingest: IngestConfig,
     strict_flag: bool,
+    log_format: LogFormat,
     metrics_out: Option<String>,
     verbose_metrics: bool,
 }
@@ -77,6 +93,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         parallel: ParallelConfig::sequential(),
         ingest: IngestConfig::strict(),
         strict_flag: false,
+        log_format: LogFormat::default(),
         metrics_out: None,
         verbose_metrics: false,
     };
@@ -114,6 +131,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--strict" => {
                 args.strict_flag = true;
             }
+            "--log-format" => {
+                let v = it.next().ok_or("--log-format needs text|binary")?;
+                args.log_format = v.parse()?;
+            }
             "--max-errors" => {
                 let v = it.next().ok_or("--max-errors needs a number")?;
                 args.ingest.max_errors = Some(v.parse().map_err(|_| "bad --max-errors")?);
@@ -131,7 +152,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 }
 
 /// Parses and analyzes a log file under the configured sharding and
-/// ingest mode. Stage instrumentation goes into `registry` (when one is
+/// ingest mode. The trace format (text `heapdrag-log v1` or HDLOG v2
+/// binary) is autodetected from the file's first bytes.
+/// Stage instrumentation goes into `registry` (when one is
 /// attached via `--metrics-out`) and is printed to stderr only under
 /// `--verbose-metrics`. In salvage mode the returned [`SalvageSummary`]
 /// says what was dropped or repaired and the `heapdrag_salvage_*` family
@@ -150,9 +173,22 @@ fn analyze_log_file(
     ),
     String,
 > {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let ingested = ingest_log(&text, parallel, ingest).map_err(|e| e.to_string())?;
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let decode_start = std::time::Instant::now();
+    let ingested = ingest_log(&bytes, parallel, ingest).map_err(|e| e.to_string())?;
+    let decode_elapsed = decode_start.elapsed();
     let (parsed, parse_metrics, salvage) = (ingested.log, ingested.metrics, ingested.salvage);
+    if let Some(registry) = registry {
+        registry
+            .counter(&format!(
+                "heapdrag_log_bytes_total{{format=\"{}\"}}",
+                salvage.format
+            ))
+            .add(bytes.len() as u64);
+        registry
+            .histogram("heapdrag_log_decode_us")
+            .observe_duration(decode_elapsed);
+    }
     let (report, analyze_metrics) =
         DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), parallel);
     if verbose {
@@ -226,12 +262,32 @@ fn run_main() -> Result<(), String> {
             let input = input_ints(&args.positional[1..])?;
             let run =
                 profile_with(&program, &input, config, registry.as_ref()).map_err(|e| e.to_string())?;
-            std::fs::write(out, write_log(&run, &program)).map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+            let mut writer = std::io::BufWriter::new(file);
+            let encode_start = std::time::Instant::now();
+            let log_bytes = run
+                .write_log_to(&program, args.log_format, &mut writer)
+                .and_then(|n| {
+                    use std::io::Write;
+                    writer.flush()?;
+                    Ok(n)
+                })
+                .map_err(|e| format!("{out}: {e}"))?;
+            if let Some(r) = &registry {
+                r.counter(&format!(
+                    "heapdrag_log_bytes_total{{format=\"{}\"}}",
+                    args.log_format
+                ))
+                .add(log_bytes);
+                r.histogram("heapdrag_log_encode_us")
+                    .observe_duration(encode_start.elapsed());
+            }
             eprintln!(
-                "profiled: {} objects, {} deep GCs, end time {} bytes -> {out}",
+                "profiled: {} objects, {} deep GCs, end time {} bytes -> {out} ({} log, {log_bytes} bytes)",
                 run.records.len(),
                 run.outcome.deep_gcs,
-                run.outcome.end_time
+                run.outcome.end_time,
+                args.log_format
             );
         }
         "compile" => {
