@@ -15,7 +15,10 @@
 #   7. a cross-format smoke: the same workload profiled to a text and to a
 #      binary (HDLOG v2) log must yield byte-identical reports, with the
 #      read side autodetecting the format, at every shard count
-#   8. a salvage smoke: generated logs of both formats truncated at three
+#   8. a streaming smoke: a synthesized ~12 MB trace piped through stdin
+#      (`analyze -`) must render byte-identical to the file-path report,
+#      and the binary smoke log must autodetect through a pipe too
+#   9. a salvage smoke: generated logs of both formats truncated at three
 #      offsets must fail strict parsing with a stable E0xx code, succeed
 #      under --salvage, and render footers byte-identical to the
 #      committed golden (tests/golden/salvage_smoke.txt)
@@ -82,6 +85,31 @@ diff -u "$tmp/report-text.txt" "$tmp/report-bin.txt"
 "$bin" report "$tmp/smoke-bin.log" --top 5 --shards 4 --chunk-records 64 \
     > "$tmp/report-bin-par.txt"
 diff -u "$tmp/report-text.txt" "$tmp/report-bin-par.txt"
+
+echo "== smoke: streaming stdin =="
+# Synthesize a large (~12 MB) text trace, stream it through stdin with
+# `analyze -` (the streaming alias of `report`), and require output
+# byte-identical to the file-path report of the same trace. The binary
+# smoke log goes through stdin too: autodetection must work on a pipe.
+awk 'BEGIN {
+    print "heapdrag-log v1";
+    for (c = 0; c < 8; c++) print "chain " c " Gen.site" c "@" c;
+    for (i = 0; i < 200000; i++) {
+        created = i * 13;
+        printf "obj %d %d %d %d %d %d %d %d 0\n", i, i % 5, \
+            8 + (i % 31) * 16, created, created + 400 + (i % 11) * 50, \
+            created + 100, i % 8, i % 8;
+        if (i % 512 == 0) printf "gc %d %d %d\n", created, i * 9 + 4096, i + 1;
+    }
+    print "end 999999999";
+}' > "$tmp/big.log"
+"$bin" report "$tmp/big.log" --top 5 --shards 4 --chunk-records 4096 \
+    > "$tmp/big-file.txt"
+"$bin" analyze - --top 5 --shards 4 --chunk-records 4096 \
+    < "$tmp/big.log" > "$tmp/big-stdin.txt"
+diff -u "$tmp/big-file.txt" "$tmp/big-stdin.txt"
+"$bin" analyze - --top 5 < "$tmp/smoke-bin.log" > "$tmp/stdin-bin.txt"
+diff -u "$tmp/report-bin.txt" "$tmp/stdin-bin.txt"
 
 echo "== smoke: salvage ingestion =="
 # Truncate the (deterministic) smoke logs — text and binary — at three

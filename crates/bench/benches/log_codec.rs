@@ -15,8 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use heapdrag_core::log::{ingest_log, write_log_to, IngestConfig};
-use heapdrag_core::{profile, DragAnalyzer, LogFormat, ParallelConfig, VmConfig};
+use heapdrag_core::{profile, DragAnalyzer, LogFormat, Pipeline, VmConfig};
 use heapdrag_workloads::workload_by_name;
 
 const WORKLOADS: [&str; 3] = ["jess", "jack", "juru"];
@@ -48,7 +47,7 @@ fn main() {
     );
     println!("|----------|-----------:|-------------:|-----------:|------------:|--------------:|------------:|--------------:|---------------:|");
 
-    let par = ParallelConfig::sequential();
+    let pipe = Pipeline::options();
     for name in WORKLOADS {
         let w = workload_by_name(name).expect("workload exists");
         let program = w.original();
@@ -57,15 +56,15 @@ fn main() {
 
         let encode = |format: LogFormat| {
             let mut buf = Vec::new();
-            write_log_to(&run, &program, format, &mut buf).expect("Vec sink cannot fail");
+            pipe.format(format)
+                .write_to(&run, &program, &mut buf)
+                .expect("Vec sink cannot fail");
             buf
         };
         let (text, text_enc) = best_of(REPS, || encode(LogFormat::Text));
         let (binary, bin_enc) = best_of(REPS, || encode(LogFormat::Binary));
 
-        let ingest = |bytes: &[u8]| {
-            ingest_log(bytes, &par, &IngestConfig::strict()).expect("clean log parses strictly")
-        };
+        let ingest = |bytes: &[u8]| pipe.ingest_bytes(bytes).expect("clean log parses strictly");
         let (from_text, text_dec) = best_of(REPS, || ingest(&text));
         let (from_binary, bin_dec) = best_of(REPS, || ingest(&binary));
 

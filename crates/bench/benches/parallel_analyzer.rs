@@ -9,8 +9,8 @@
 
 use std::time::{Duration, Instant};
 
-use heapdrag_core::log::{parse_log_sharded, ParsedLog};
-use heapdrag_core::{DragAnalyzer, DragReport, ParallelConfig};
+use heapdrag_core::log::ParsedLog;
+use heapdrag_core::{DragReport, ParallelConfig, Pipeline};
 use heapdrag_obs::Registry;
 use heapdrag_vm::SiteId;
 
@@ -58,10 +58,14 @@ fn time_pipeline(
     par: &ParallelConfig,
     registry: &Registry,
 ) -> (Duration, ParsedLog, DragReport) {
+    let pipe = Pipeline::options()
+        .shards(par.shards)
+        .chunk_records(par.chunk_records);
     let run = || {
-        let (parsed, parse_metrics) = parse_log_sharded(text, par).expect("parses");
+        let ingested = pipe.ingest_bytes(text).expect("parses");
+        let (parsed, parse_metrics) = (ingested.log, ingested.metrics);
         let (report, analyze_metrics) =
-            DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), par);
+            pipe.analyze_records(&parsed.records, |c| Some(SiteId(c.0)));
         parse_metrics.publish("parse", registry);
         analyze_metrics.publish("analyze", registry);
         (parsed, report)

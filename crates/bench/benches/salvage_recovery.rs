@@ -12,8 +12,7 @@
 //! Everything here is deterministic (the VM clock is allocation-driven),
 //! so the printed table is stable across runs and machines.
 
-use heapdrag_core::log::{ingest_log, write_log, IngestConfig};
-use heapdrag_core::{profile, ParallelConfig, VmConfig};
+use heapdrag_core::{profile, Pipeline, VmConfig};
 use heapdrag_workloads::workload_by_name;
 
 const WORKLOADS: [&str; 3] = ["jess", "jack", "juru"];
@@ -32,14 +31,20 @@ fn main() {
     );
     println!("|----------|{}", "----------|".repeat(CUTS.len()));
 
-    let par = ParallelConfig::with_shards(4);
+    let strict = Pipeline::options().shards(4);
+    let salvage = strict.salvage(None);
     for name in WORKLOADS {
         let w = workload_by_name(name).expect("workload exists");
         let program = w.original();
         let run = profile(&program, &(w.default_input)(), VmConfig::profiling())
             .expect("workload profiles");
-        let clean_text = write_log(&run, &program);
-        let clean = ingest_log(&clean_text, &par, &IngestConfig::strict())
+        let clean_text = {
+            let mut buf = Vec::new();
+            strict.write_to(&run, &program, &mut buf).expect("writes");
+            String::from_utf8(buf).expect("text log is utf-8")
+        };
+        let clean = strict
+            .ingest_bytes(&clean_text)
             .expect("clean log parses strictly");
         let clean_records = clean.log.records.len() as f64;
         let clean_drag = total_drag(&clean.log.records) as f64;
@@ -51,9 +56,12 @@ fn main() {
                 end -= 1;
             }
             let text = &clean_text[..end];
-            let strict_err = ingest_log(text, &par, &IngestConfig::strict())
+            let strict_err = strict
+                .ingest_bytes(text)
                 .expect_err("a truncated log must fail strict parsing");
-            let salvaged = ingest_log(text, &par, &IngestConfig::salvage())
+            let strict_err = strict_err.as_log().expect("log error");
+            let salvaged = salvage
+                .ingest_bytes(text)
                 .expect("salvage always succeeds on a truncated log");
             assert!(
                 salvaged.salvage.synthesized_end,

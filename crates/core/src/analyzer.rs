@@ -2,13 +2,16 @@
 //! drag-sorted reports (§2.2 of the paper).
 //!
 //! The partitioning is data-parallel: the record slice is split into
-//! contiguous shards, each shard accumulates *partial groups* (exact
-//! integer sums plus the member indices of every group it touches) on its
-//! own worker thread, and a deterministic merge concatenates the shards in
-//! input order. Lifetime classification — the only floating-point step —
-//! runs after the merge over each group's members in original record
-//! order, so the report is byte-identical for every shard count. See
-//! [`crate::parallel`] for the configuration and the argument.
+//! contiguous shards, each shard accumulates *partial groups* (exact,
+//! order-independent integer sums — including the drag moments lifetime
+//! classification needs, see `crate::pattern::PatternSums`) on its own
+//! worker thread, and a commutative merge combines the shards. Because
+//! every per-group quantity, classification included, is derived from
+//! those sums after the merge, the report is byte-identical for every
+//! shard count — and for the streaming ingest path, which folds records
+//! into the same sums chunk by chunk without ever materialising the
+//! record vector. See [`crate::parallel`] for the configuration and
+//! [`crate::stream`] for the streaming fold.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -17,7 +20,7 @@ use heapdrag_vm::ids::{ChainId, SiteId};
 
 use crate::integrals::Integrals;
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
-use crate::pattern::{classify, LifetimePattern, PatternConfig, TransformKind};
+use crate::pattern::{classify_from_sums, LifetimePattern, PatternConfig, PatternSums, TransformKind};
 use crate::record::ObjectRecord;
 
 /// Aggregate statistics for one group of objects (a partition cell).
@@ -138,197 +141,138 @@ pub struct DragAnalyzer {
 }
 
 /// Exact, order-independent per-group sums — everything [`GroupStats`]
-/// holds except the (floating-point, order-sensitive) pattern. Merging two
-/// partials is integer addition, so shard merges cannot drift from the
-/// sequential result.
+/// holds, with the lifetime pattern represented by its sufficient
+/// statistics ([`PatternSums`]) rather than a member list. Merging two
+/// partials is integer addition, so shard merges — and the streaming
+/// fold, which never sees two records of a group at once — cannot drift
+/// from the sequential result.
 #[derive(Debug, Clone, Copy, Default)]
-struct PartialStats {
-    objects: u64,
-    never_used: u64,
+pub(crate) struct PartialStats {
     bytes: u64,
-    drag: u128,
     never_used_drag: u128,
     reachable: u128,
     in_use: u128,
+    pattern: PatternSums,
 }
 
 impl PartialStats {
-    fn add(&mut self, r: &ObjectRecord, window: u64) {
-        self.objects += 1;
+    pub(crate) fn add(&mut self, r: &ObjectRecord, patterns: &PatternConfig) {
         self.bytes += r.size;
-        self.drag += r.drag();
         self.reachable += r.reachable_product();
         self.in_use += r.in_use_product();
-        if r.is_never_used(window) {
-            self.never_used += 1;
+        if r.is_never_used(patterns.ctor_use_window) {
             self.never_used_drag += r.drag();
         }
+        self.pattern.add(r, patterns);
     }
 
     fn merge(&mut self, other: &PartialStats) {
-        self.objects += other.objects;
-        self.never_used += other.never_used;
         self.bytes += other.bytes;
-        self.drag += other.drag;
         self.never_used_drag += other.never_used_drag;
         self.reachable += other.reachable;
         self.in_use += other.in_use;
-    }
-}
-
-/// One partition cell as accumulated by a shard: exact sums plus the
-/// global indices of the member records (ascending — shards are contiguous
-/// and scanned in order).
-#[derive(Debug, Clone, Default)]
-struct Group {
-    partial: PartialStats,
-    members: Vec<u32>,
-}
-
-impl Group {
-    fn add(&mut self, index: u32, r: &ObjectRecord, window: u64) {
-        self.partial.add(r, window);
-        self.members.push(index);
-    }
-
-    fn merge(&mut self, other: Group) {
-        self.partial.merge(&other.partial);
-        self.members.extend(other.members);
+        self.pattern.merge(&other.pattern);
     }
 }
 
 /// All three partitions plus totals for one shard of records.
 #[derive(Debug, Default)]
-struct ShardAccum {
-    nested: HashMap<ChainId, Group>,
-    coarse: HashMap<SiteId, Group>,
-    pairs: HashMap<(ChainId, Option<ChainId>), Group>,
+pub(crate) struct ShardAccum {
+    nested: HashMap<ChainId, PartialStats>,
+    coarse: HashMap<SiteId, PartialStats>,
+    pairs: HashMap<(ChainId, Option<ChainId>), PartialStats>,
     totals: Integrals,
 }
 
 impl ShardAccum {
-    fn group_count(&self) -> u64 {
+    pub(crate) fn group_count(&self) -> u64 {
         (self.nested.len() + self.coarse.len() + self.pairs.len()) as u64
     }
 
-    fn merge(&mut self, other: ShardAccum) {
+    /// Folds one record into all three partitions and the totals.
+    pub(crate) fn add<F>(&mut self, r: &ObjectRecord, patterns: &PatternConfig, innermost: &F)
+    where
+        F: Fn(ChainId) -> Option<SiteId> + ?Sized,
+    {
+        self.nested.entry(r.alloc_site).or_default().add(r, patterns);
+        if let Some(s) = innermost(r.alloc_site) {
+            self.coarse.entry(s).or_default().add(r, patterns);
+        }
+        let use_site = if r.is_never_used(patterns.ctor_use_window) {
+            None
+        } else {
+            r.last_use_site
+        };
+        self.pairs
+            .entry((r.alloc_site, use_site))
+            .or_default()
+            .add(r, patterns);
+        self.totals.reachable += r.reachable_product();
+        self.totals.in_use += r.in_use_product();
+    }
+
+    pub(crate) fn merge(&mut self, other: ShardAccum) {
         for (k, g) in other.nested {
-            self.nested.entry(k).or_default().merge(g);
+            self.nested.entry(k).or_default().merge(&g);
         }
         for (k, g) in other.coarse {
-            self.coarse.entry(k).or_default().merge(g);
+            self.coarse.entry(k).or_default().merge(&g);
         }
         for (k, g) in other.pairs {
-            self.pairs.entry(k).or_default().merge(g);
+            self.pairs.entry(k).or_default().merge(&g);
         }
         self.totals.reachable += other.totals.reachable;
         self.totals.in_use += other.totals.in_use;
     }
 }
 
-/// Accumulates one contiguous shard. `base` is the global index of
-/// `records[0]`, so member indices stay global across shards.
-fn accumulate_shard<F>(
+/// Accumulates one contiguous shard.
+pub(crate) fn accumulate_shard<F>(
     records: &[ObjectRecord],
-    base: u32,
-    window: u64,
+    patterns: &PatternConfig,
     innermost: &F,
 ) -> ShardAccum
 where
     F: Fn(ChainId) -> Option<SiteId>,
 {
     let mut accum = ShardAccum::default();
-    for (offset, r) in records.iter().enumerate() {
-        let index = base + offset as u32;
-        accum.nested.entry(r.alloc_site).or_default().add(index, r, window);
-        if let Some(s) = innermost(r.alloc_site) {
-            accum.coarse.entry(s).or_default().add(index, r, window);
-        }
-        let use_site = if r.is_never_used(window) {
-            None
-        } else {
-            r.last_use_site
-        };
-        accum
-            .pairs
-            .entry((r.alloc_site, use_site))
-            .or_default()
-            .add(index, r, window);
-        accum.totals.reachable += r.reachable_product();
-        accum.totals.in_use += r.in_use_product();
+    for r in records {
+        accum.add(r, patterns, innermost);
     }
     accum
 }
 
-/// Finishes one merged group: copies the exact sums and classifies the
-/// members in original record order (identical to the sequential pass).
-fn group_stats(group: &Group, records: &[ObjectRecord], patterns: &PatternConfig) -> GroupStats {
-    let refs: Vec<&ObjectRecord> = group
-        .members
-        .iter()
-        .map(|&i| &records[i as usize])
-        .collect();
+/// Finishes one merged group: copies the exact sums and derives the
+/// classification from them — a constant-time step per group, identical
+/// whatever order or sharding produced the sums.
+fn group_stats(partial: &PartialStats, patterns: &PatternConfig) -> GroupStats {
     GroupStats {
-        objects: group.partial.objects,
-        never_used: group.partial.never_used,
-        bytes: group.partial.bytes,
-        drag: group.partial.drag,
-        never_used_drag: group.partial.never_used_drag,
-        reachable: group.partial.reachable,
-        in_use: group.partial.in_use,
-        pattern: classify(&refs, patterns),
+        objects: partial.pattern.objects,
+        never_used: partial.pattern.never_used,
+        bytes: partial.bytes,
+        drag: partial.pattern.drag,
+        never_used_drag: partial.never_used_drag,
+        reachable: partial.reachable,
+        in_use: partial.in_use,
+        pattern: classify_from_sums(&partial.pattern, patterns),
     }
 }
 
-/// Turns merged groups into report entries, classifying on `workers`
-/// threads. Classification of one group is self-contained, and the caller
-/// sorts the entries with a total order, so the fan-out cannot change the
-/// result.
+/// Turns merged groups into report entries. Classification is a
+/// constant-time derivation from the sums, so no fan-out is needed; the
+/// caller sorts the entries with a total order.
 fn finalize_groups<K, E, M>(
-    groups: Vec<(K, Group)>,
-    records: &[ObjectRecord],
+    groups: HashMap<K, PartialStats>,
     patterns: &PatternConfig,
-    workers: usize,
     make: M,
 ) -> Vec<E>
 where
-    K: Send,
-    E: Send,
-    M: Fn(K, GroupStats) -> E + Sync,
+    M: Fn(K, GroupStats) -> E,
 {
-    if workers <= 1 || groups.len() <= 1 {
-        return groups
-            .into_iter()
-            .map(|(k, g)| make(k, group_stats(&g, records, patterns)))
-            .collect();
-    }
-    let chunk = groups.len().div_ceil(workers);
-    let mut chunks: Vec<Vec<(K, Group)>> = Vec::new();
-    let mut it = groups.into_iter();
-    loop {
-        let c: Vec<(K, Group)> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    let make = &make;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| {
-                s.spawn(move || {
-                    c.into_iter()
-                        .map(|(k, g)| make(k, group_stats(&g, records, patterns)))
-                        .collect::<Vec<E>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("finalize worker panicked"))
-            .collect()
-    })
+    groups
+        .into_iter()
+        .map(|(k, g)| make(k, group_stats(&g, patterns)))
+        .collect()
 }
 
 impl DragAnalyzer {
@@ -342,6 +286,11 @@ impl DragAnalyzer {
         DragAnalyzer { config }
     }
 
+    /// The thresholds this analyzer runs with.
+    pub(crate) fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
     /// Partitions `records` (with the innermost-site resolver `innermost`,
     /// typically [`SiteTable::innermost`](heapdrag_vm::site::SiteTable::innermost))
     /// and produces the report. Sequential — the `shards = 1` special case
@@ -351,9 +300,8 @@ impl DragAnalyzer {
     where
         F: Fn(ChainId) -> Option<SiteId>,
     {
-        let window = self.config.patterns.ctor_use_window;
-        let accum = accumulate_shard(records, 0, window, &innermost);
-        self.finalize(accum, records, 1)
+        let accum = accumulate_shard(records, &self.config.patterns, &innermost);
+        self.finalize(accum)
     }
 
     /// The sharded analysis: splits `records` into
@@ -363,6 +311,7 @@ impl DragAnalyzer {
     /// byte-identical to [`analyze`](Self::analyze) for every shard count;
     /// the returned [`ParallelMetrics`] carry per-shard record counts and
     /// timings for the bench harness.
+    #[deprecated(note = "use `Pipeline::options().shards(n).analyze_records(records, innermost)`")]
     pub fn analyze_sharded<F>(
         &self,
         records: &[ObjectRecord],
@@ -372,8 +321,22 @@ impl DragAnalyzer {
     where
         F: Fn(ChainId) -> Option<SiteId> + Sync,
     {
+        self.analyze_sharded_impl(records, innermost, par)
+    }
+
+    /// The analysis engine behind [`crate::Pipeline::analyze_records`] and
+    /// the deprecated [`analyze_sharded`](Self::analyze_sharded) wrapper.
+    pub(crate) fn analyze_sharded_impl<F>(
+        &self,
+        records: &[ObjectRecord],
+        innermost: F,
+        par: &ParallelConfig,
+    ) -> (DragReport, ParallelMetrics)
+    where
+        F: Fn(ChainId) -> Option<SiteId> + Sync,
+    {
         let start = Instant::now();
-        let window = self.config.patterns.ctor_use_window;
+        let patterns = &self.config.patterns;
         let workers = par.effective_shards(records.len());
         let mut metrics = ParallelMetrics::default();
 
@@ -381,11 +344,11 @@ impl DragAnalyzer {
         // Contiguous, near-even shards; shard i covers
         // records[bounds[i]..bounds[i + 1]].
         let per_shard = records.len().div_ceil(workers.max(1));
-        let slices: Vec<(usize, &[ObjectRecord])> = (0..workers)
+        let slices: Vec<&[ObjectRecord]> = (0..workers)
             .map(|i| {
                 let lo = (i * per_shard).min(records.len());
                 let hi = ((i + 1) * per_shard).min(records.len());
-                (lo, &records[lo..hi])
+                &records[lo..hi]
             })
             .collect();
         metrics.split_elapsed = split_start.elapsed();
@@ -393,7 +356,7 @@ impl DragAnalyzer {
         let innermost = &innermost;
         let shard_results: Vec<(ShardAccum, ShardMetrics)> = if workers <= 1 {
             let t = Instant::now();
-            let accum = accumulate_shard(records, 0, window, innermost);
+            let accum = accumulate_shard(records, patterns, innermost);
             let m = ShardMetrics {
                 shard: 0,
                 records: records.len() as u64,
@@ -407,11 +370,10 @@ impl DragAnalyzer {
                 let handles: Vec<_> = slices
                     .iter()
                     .enumerate()
-                    .map(|(shard, &(base, slice))| {
+                    .map(|(shard, &slice)| {
                         s.spawn(move || {
                             let t = Instant::now();
-                            let accum =
-                                accumulate_shard(slice, base as u32, window, innermost);
+                            let accum = accumulate_shard(slice, patterns, innermost);
                             let m = ShardMetrics {
                                 shard,
                                 records: slice.len() as u64,
@@ -433,19 +395,17 @@ impl DragAnalyzer {
         let merge_start = Instant::now();
         let mut merged = ShardAccum::default();
         for (accum, m) in shard_results {
-            // Shards merge in input order, so every group's member list
-            // stays in original record order.
             merged.merge(accum);
             metrics.shards.push(m);
         }
-        let report = self.finalize(merged, records, workers);
+        let report = self.finalize(merged);
         metrics.merge_elapsed = merge_start.elapsed();
         metrics.total_elapsed = start.elapsed();
         (report, metrics)
     }
 
     /// Classification, entry construction, and sorting over merged groups.
-    fn finalize(&self, accum: ShardAccum, records: &[ObjectRecord], workers: usize) -> DragReport {
+    pub(crate) fn finalize(&self, accum: ShardAccum) -> DragReport {
         let patterns = &self.config.patterns;
         let ShardAccum {
             nested,
@@ -454,35 +414,22 @@ impl DragAnalyzer {
             totals,
         } = accum;
 
-        let mut by_nested_site: Vec<NestedSiteEntry> = finalize_groups(
-            nested.into_iter().collect(),
-            records,
-            patterns,
-            workers,
-            |site, stats| NestedSiteEntry { site, stats },
-        );
+        let mut by_nested_site: Vec<NestedSiteEntry> =
+            finalize_groups(nested, patterns, |site, stats| NestedSiteEntry { site, stats });
         by_nested_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
 
-        let mut by_coarse_site: Vec<CoarseSiteEntry> = finalize_groups(
-            coarse.into_iter().collect(),
-            records,
-            patterns,
-            workers,
-            |site, stats| CoarseSiteEntry { site, stats },
-        );
+        let mut by_coarse_site: Vec<CoarseSiteEntry> =
+            finalize_groups(coarse, patterns, |site, stats| CoarseSiteEntry { site, stats });
         by_coarse_site.sort_by(|a, b| b.stats.drag.cmp(&a.stats.drag).then(a.site.cmp(&b.site)));
 
-        let mut by_alloc_and_last_use: Vec<AllocUsePairEntry> = finalize_groups(
-            pairs.into_iter().collect(),
-            records,
-            patterns,
-            workers,
-            |(alloc_site, last_use_site), stats| AllocUsePairEntry {
-                alloc_site,
-                last_use_site,
-                stats,
-            },
-        );
+        let mut by_alloc_and_last_use: Vec<AllocUsePairEntry> =
+            finalize_groups(pairs, patterns, |(alloc_site, last_use_site), stats| {
+                AllocUsePairEntry {
+                    alloc_site,
+                    last_use_site,
+                    stats,
+                }
+            });
         by_alloc_and_last_use.sort_by(|a, b| {
             b.stats
                 .drag
@@ -633,7 +580,7 @@ mod tests {
             .collect();
         let sequential = analyze(&records);
         for shards in [1, 2, 3, 8, 64] {
-            let (sharded, metrics) = DragAnalyzer::new().analyze_sharded(
+            let (sharded, metrics) = DragAnalyzer::new().analyze_sharded_impl(
                 &records,
                 |c| Some(SiteId(c.0)),
                 &ParallelConfig::with_shards(shards),
@@ -646,7 +593,7 @@ mod tests {
 
     #[test]
     fn sharded_handles_empty_input() {
-        let (report, metrics) = DragAnalyzer::new().analyze_sharded(
+        let (report, metrics) = DragAnalyzer::new().analyze_sharded_impl(
             &[],
             |c| Some(SiteId(c.0)),
             &ParallelConfig::with_shards(4),

@@ -58,8 +58,8 @@ use crate::log::{ErrorCode, LogError};
 use crate::record::{GcSample, ObjectRecord};
 
 use super::{
-    frame_checksum, normalize_chain_name, read_varint, write_varint, Chunk, ChunkOut,
-    ScanOutput, TraceSink,
+    frame_checksum, normalize_chain_name, read_varint, write_varint, Chunk, ChunkOut, FrameMeta,
+    OwnedChunk, OwnedFrames, ScanOutput, StreamScanState, TraceSink,
 };
 
 /// The eight magic bytes every HDLOG v2 file starts with.
@@ -484,6 +484,343 @@ pub(crate) fn scan(bytes: &[u8], salvage: bool, chunk_records: usize) -> ScanOut
     out
 }
 
+/// The largest claimed payload the incremental scanner will buffer while
+/// waiting for the rest of a frame. Real frames are tens of bytes; a
+/// claim beyond this bound is corruption, and buffering it would let a
+/// three-byte length prefix demand gigabytes of memory. Past the bound
+/// the scanner stops buffering, counts the remaining input, and reports
+/// the frame as a torn tail at end-of-stream. (The one divergence from
+/// the in-memory scan: a *legitimate* frame larger than this would have
+/// decoded there — no real trace contains one.)
+const MAX_BUFFERED_FRAME: u64 = 64 * 1024 * 1024;
+
+/// Why the incremental scanner stopped walking frames before
+/// end-of-input.
+#[derive(Debug)]
+enum StallKind {
+    /// Framing lost (unknown tag, corrupt length prefix, missing magic):
+    /// the error is already recorded; the remaining input is counted and
+    /// charged as skipped at end-of-stream.
+    Dead { from: u64 },
+    /// A frame claimed more than [`MAX_BUFFERED_FRAME`]: reported as a
+    /// torn tail at end-of-stream, once the leftover byte count is known.
+    OverCap {
+        frame: usize,
+        start: u64,
+        payload_len: u64,
+        header: u64,
+    },
+}
+
+/// The incremental counterpart of [`scan`]: fed arbitrary byte blocks,
+/// it walks the frame stream across block boundaries, holding only the
+/// current incomplete frame, and replays the exact error classification
+/// of the in-memory scan — including the E005-vs-E007 distinction for a
+/// length prefix that is corrupt versus merely truncated.
+#[derive(Debug)]
+pub(crate) struct StreamScanner {
+    chunk_records: usize,
+    /// Unconsumed bytes: at most one incomplete frame (plus whatever the
+    /// last block appended).
+    buf: Vec<u8>,
+    /// Absolute input offset of `buf[0]`.
+    base: u64,
+    /// Total bytes fed so far.
+    total: u64,
+    /// Frames walked so far (including a final failed attempt).
+    n: usize,
+    checked_magic: bool,
+    /// Set on a missing-magic error, which reports `next_position`
+    /// differently from the frame walk.
+    no_magic: bool,
+    stall: Option<StallKind>,
+    current: OwnedFrames,
+    /// The accumulated shared state; read it after [`Self::finish`].
+    pub(crate) state: StreamScanState,
+}
+
+impl StreamScanner {
+    pub(crate) fn new(salvage: bool, chunk_records: usize) -> Self {
+        StreamScanner {
+            chunk_records: chunk_records.max(1),
+            buf: Vec::new(),
+            base: 0,
+            total: 0,
+            n: 0,
+            checked_magic: false,
+            no_magic: false,
+            stall: None,
+            current: OwnedFrames::default(),
+            state: StreamScanState::new(salvage),
+        }
+    }
+
+    /// Bytes currently held by the scanner itself (the incomplete frame
+    /// plus the partially-filled chunk), for the peak-memory gauge.
+    pub(crate) fn buffered_bytes(&self) -> u64 {
+        (self.buf.len() + self.current.buf.len()) as u64
+    }
+
+    /// Feeds one block of input; completed chunks are appended to `out`.
+    pub(crate) fn feed(&mut self, data: &[u8], out: &mut Vec<OwnedChunk>) {
+        self.total += data.len() as u64;
+        if self.state.aborted || self.stall.is_some() {
+            return; // dead input is only counted, never buffered
+        }
+        self.buf.extend_from_slice(data);
+        self.scan_buf(out);
+    }
+
+    /// Signals end-of-input: classifies whatever is left in the buffer,
+    /// settles deferred framing-loss byte counts, flushes the partial
+    /// chunk, and finalises `next_position`.
+    pub(crate) fn finish(&mut self, out: &mut Vec<OwnedChunk>) {
+        match self.stall.take() {
+            Some(StallKind::Dead { from }) => {
+                if self.state.salvage() {
+                    self.state.bytes_skipped += self.total - from;
+                }
+            }
+            Some(StallKind::OverCap {
+                frame,
+                start,
+                payload_len,
+                header,
+            }) => {
+                let remaining = self.total - start;
+                let mut e = LogError::new(
+                    ErrorCode::TornTail,
+                    frame,
+                    format!(
+                        "input ends inside frame {frame} (payload length {payload_len}, {} byte(s) left)",
+                        remaining.saturating_sub(header)
+                    ),
+                );
+                e.byte = start;
+                self.state.note(e, remaining);
+            }
+            None => {
+                if !self.checked_magic && !self.no_magic && !self.state.aborted {
+                    // Input ended before the eight magic bytes.
+                    let e = LogError::new(
+                        ErrorCode::BadHeader,
+                        1,
+                        "input does not start with the HDLOG v2 magic".into(),
+                    );
+                    self.state.note(e, self.total);
+                    self.no_magic = true;
+                } else if !self.buf.is_empty() && !self.state.aborted {
+                    self.classify_tail();
+                }
+            }
+        }
+        if !self.current.metas.is_empty() {
+            out.push(OwnedChunk::Frames(std::mem::take(&mut self.current)));
+        }
+        self.state.next_position = if self.no_magic {
+            (2, self.total)
+        } else {
+            (self.n + 1, self.total)
+        };
+    }
+
+    /// Records a framing-loss error and switches to counting the rest of
+    /// the input (strict mode aborts via the latch inside `note`).
+    fn framing_lost(&mut self, e: LogError, from: u64) {
+        self.state.note(e, 0);
+        if !self.state.aborted {
+            self.stall = Some(StallKind::Dead { from });
+        }
+        self.buf.clear();
+    }
+
+    fn scan_buf(&mut self, out: &mut Vec<OwnedChunk>) {
+        if !self.checked_magic {
+            if self.buf.len() < MAGIC.len() {
+                return;
+            }
+            if !self.buf.starts_with(&MAGIC) {
+                self.no_magic = true;
+                let e = LogError::new(
+                    ErrorCode::BadHeader,
+                    1,
+                    "input does not start with the HDLOG v2 magic".into(),
+                );
+                self.framing_lost(e, 0);
+                return;
+            }
+            self.checked_magic = true;
+            self.buf.drain(..MAGIC.len());
+            self.base = MAGIC.len() as u64;
+        }
+        let mut off = 0usize;
+        loop {
+            if self.state.aborted || self.stall.is_some() {
+                break;
+            }
+            let avail = self.buf.len() - off;
+            if avail == 0 {
+                break;
+            }
+            let start_abs = self.base + off as u64;
+            let tag = self.buf[off];
+            if !(TAG_CHAIN..=TAG_END).contains(&tag) {
+                self.n += 1;
+                let mut e = LogError::new(
+                    ErrorCode::UnknownDirective,
+                    self.n,
+                    format!("unknown frame tag {tag:#04x}; dropping the rest of the input"),
+                );
+                e.byte = start_abs;
+                self.base += self.buf.len() as u64;
+                self.framing_lost(e, start_abs);
+                return;
+            }
+            let (payload_len, len_used) = match read_varint(&self.buf[off + 1..]) {
+                Some(v) => v,
+                None => {
+                    // A varint still undecodable with 10 bytes in hand is
+                    // corrupt; with fewer we wait for more input (at EOF,
+                    // `classify_tail` calls it a torn write).
+                    if avail > 10 {
+                        self.n += 1;
+                        let mut e = LogError::new(
+                            ErrorCode::BadFieldValue,
+                            self.n,
+                            "corrupt frame length prefix; dropping the rest of the input".into(),
+                        );
+                        e.byte = start_abs;
+                        self.base += self.buf.len() as u64;
+                        self.framing_lost(e, start_abs);
+                        return;
+                    }
+                    break;
+                }
+            };
+            let header = 1 + len_used as u64;
+            let frame_total = match payload_len
+                .checked_add(header)
+                .and_then(|v| v.checked_add(2))
+            {
+                Some(total) if total <= avail as u64 => total,
+                Some(total) if total <= MAX_BUFFERED_FRAME => break, // wait for the rest
+                _ => {
+                    self.n += 1;
+                    self.stall = Some(StallKind::OverCap {
+                        frame: self.n,
+                        start: start_abs,
+                        payload_len,
+                        header,
+                    });
+                    self.base += self.buf.len() as u64;
+                    self.buf.clear();
+                    return;
+                }
+            };
+            self.n += 1;
+            let payload_start = off + header as usize;
+            let payload_end = payload_start + payload_len as usize;
+            let frame = RawFrame {
+                frame: self.n,
+                byte: start_abs,
+                len: frame_total,
+                tag,
+                payload: &self.buf[payload_start..payload_end],
+                crc: u16::from_le_bytes([self.buf[payload_end], self.buf[payload_end + 1]]),
+            };
+            match tag {
+                TAG_OBJ | TAG_GC => {
+                    let start = self.current.buf.len();
+                    self.current.buf.extend_from_slice(frame.payload);
+                    self.current.metas.push(FrameMeta {
+                        frame: self.n,
+                        byte: start_abs,
+                        len: frame_total,
+                        tag,
+                        crc: frame.crc,
+                        start,
+                        end: self.current.buf.len(),
+                    });
+                    if self.current.metas.len() >= self.chunk_records {
+                        out.push(OwnedChunk::Frames(std::mem::take(&mut self.current)));
+                    }
+                }
+                TAG_END => {
+                    let result = frame.verify().and_then(|()| {
+                        let mut p = Fields::new(&frame);
+                        let t = p.u64_field("end time")?;
+                        p.finish()?;
+                        Ok(t)
+                    });
+                    match result {
+                        Ok(t) => {
+                            self.state.end_time = t;
+                            self.state.saw_end = true;
+                        }
+                        Err(mut e) => {
+                            e.byte = start_abs;
+                            self.state.note(e, frame_total);
+                        }
+                    }
+                }
+                TAG_CHAIN => {
+                    let result = frame.verify().and_then(|()| {
+                        let mut p = Fields::new(&frame);
+                        let id = p.u32_field("chain id")?;
+                        let name = &frame.payload[p.pos..];
+                        Ok((id, normalize_chain_name(&String::from_utf8_lossy(name))))
+                    });
+                    match result {
+                        Ok((id, name)) => {
+                            self.state.chain_names.insert(ChainId(id), name);
+                        }
+                        Err(mut e) => {
+                            e.byte = start_abs;
+                            self.state.note(e, frame_total);
+                        }
+                    }
+                }
+                _ => unreachable!("tag range checked above"),
+            }
+            off += frame_total as usize;
+        }
+        self.buf.drain(..off);
+        self.base += off as u64;
+    }
+
+    /// End-of-input reached with a frame still open: the torn-tail
+    /// classification of the in-memory scan. (The corrupt-prefix case is
+    /// impossible here — `scan_buf` flags it as soon as ten bytes are in
+    /// hand.)
+    fn classify_tail(&mut self) {
+        let start_abs = self.base;
+        let remaining = self.total - start_abs;
+        self.n += 1;
+        let mut e = match read_varint(&self.buf[1..]) {
+            None => LogError::new(
+                ErrorCode::TornTail,
+                self.n,
+                "input ends inside a frame length prefix; dropping the rest of the input".into(),
+            ),
+            Some((payload_len, len_used)) => {
+                let header = 1 + len_used as u64;
+                LogError::new(
+                    ErrorCode::TornTail,
+                    self.n,
+                    format!(
+                        "input ends inside frame {} (payload length {payload_len}, {} byte(s) left)",
+                        self.n,
+                        remaining.saturating_sub(header)
+                    ),
+                )
+            }
+        };
+        e.byte = start_abs;
+        self.state.note(e, remaining);
+        self.buf.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -654,6 +991,157 @@ mod tests {
     fn missing_magic_is_a_bad_header() {
         let s = scan(b"heapdrag-log v1\n", false, 8192);
         assert_eq!(s.errors[0].code, ErrorCode::BadHeader);
+    }
+
+    /// Runs the incremental scanner over `bytes` in blocks of `feed`
+    /// bytes and decodes every chunk it produced.
+    fn stream_scan(
+        bytes: &[u8],
+        salvage: bool,
+        chunk_records: usize,
+        feed: usize,
+    ) -> (StreamScanner, ChunkOut, usize) {
+        let mut scanner = StreamScanner::new(salvage, chunk_records);
+        let mut chunks: Vec<OwnedChunk> = Vec::new();
+        for block in bytes.chunks(feed.max(1)) {
+            scanner.feed(block, &mut chunks);
+        }
+        scanner.finish(&mut chunks);
+        let mut all = ChunkOut::default();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let (out, _) = chunk.decode(i, salvage);
+            all.records.extend(out.records);
+            all.samples.extend(out.samples);
+            all.errors.extend(out.errors);
+            all.units_dropped += out.units_dropped;
+            all.bytes_skipped += out.bytes_skipped;
+        }
+        (scanner, all, chunks.len())
+    }
+
+    /// Asserts the incremental scanner agrees with the batch scan on
+    /// `bytes` for every combination of mode, chunk size, and feed size.
+    fn assert_stream_matches_batch(bytes: &[u8], label: &str) {
+        for salvage in [false, true] {
+            for chunk_records in [1, 3, 8192] {
+                let want = scan(bytes, salvage, chunk_records);
+                let mut want_out = ChunkOut::default();
+                for (i, chunk) in want.chunks.iter().enumerate() {
+                    let (out, _) = chunk.decode(i, salvage);
+                    want_out.records.extend(out.records);
+                    want_out.samples.extend(out.samples);
+                    want_out.errors.extend(out.errors);
+                    want_out.units_dropped += out.units_dropped;
+                    want_out.bytes_skipped += out.bytes_skipped;
+                }
+                for feed in [1, 2, 3, 7, 64, 4096] {
+                    let ctx = format!(
+                        "{label}: salvage={salvage} chunk_records={chunk_records} feed={feed}"
+                    );
+                    let (scanner, got_out, got_chunks) =
+                        stream_scan(bytes, salvage, chunk_records, feed);
+                    assert_eq!(want.chunks.len(), got_chunks, "{ctx}: chunk count");
+                    assert_eq!(want_out.records, got_out.records, "{ctx}: records");
+                    assert_eq!(want_out.samples, got_out.samples, "{ctx}: samples");
+                    assert_eq!(want_out.errors, got_out.errors, "{ctx}: chunk errors");
+                    assert_eq!(want.errors, scanner.state.errors, "{ctx}: scan errors");
+                    if !scanner.state.aborted {
+                        assert_eq!(want.chain_names, scanner.state.chain_names, "{ctx}");
+                        assert_eq!(want.end_time, scanner.state.end_time, "{ctx}");
+                        assert_eq!(want.saw_end, scanner.state.saw_end, "{ctx}");
+                        assert_eq!(want.units_dropped, scanner.state.units_dropped, "{ctx}");
+                        assert_eq!(want.bytes_skipped, scanner.state.bytes_skipped, "{ctx}");
+                        assert_eq!(want.next_position, scanner.state.next_position, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_clean_log() {
+        assert_stream_matches_batch(&sample_log(), "clean");
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_truncations() {
+        let bytes = sample_log();
+        for cut in 0..bytes.len() {
+            assert_stream_matches_batch(&bytes[..cut], &format!("cut at {cut}"));
+        }
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_faults() {
+        let bytes = sample_log();
+        let scan_clean = scan(&bytes, false, 8192);
+        let first_obj_byte = match &scan_clean.chunks[0] {
+            Chunk::Frames(frames) => frames[0].byte as usize,
+            _ => unreachable!(),
+        };
+        drop(scan_clean);
+
+        // Unknown tag: framing lost.
+        let mut unknown = bytes.clone();
+        unknown[first_obj_byte] = 0x7f;
+        assert_stream_matches_batch(&unknown, "unknown tag");
+
+        // Flipped payload byte: checksum mismatch, framing intact.
+        let mut flipped = bytes.clone();
+        flipped[first_obj_byte + 2] ^= 0x20;
+        assert_stream_matches_batch(&flipped, "checksum mismatch");
+
+        // Huge claimed payload (fits a varint, exceeds the input).
+        let mut huge = bytes[..first_obj_byte + 1].to_vec();
+        huge.extend_from_slice(&[0xff, 0xff, 0x7f]); // ~2 MiB length claim
+        huge.extend_from_slice(&[0u8; 16]);
+        assert_stream_matches_batch(&huge, "huge claim");
+
+        // A length varint that never terminates within 10 bytes.
+        let mut corrupt = bytes[..first_obj_byte + 1].to_vec();
+        corrupt.extend_from_slice(&[0x80; 12]);
+        assert_stream_matches_batch(&corrupt, "corrupt prefix");
+
+        // No magic at all.
+        assert_stream_matches_batch(b"heapdrag-log v1\n", "text input");
+        assert_stream_matches_batch(b"\x89HDL", "short bad prefix");
+    }
+
+    #[test]
+    fn over_cap_claim_is_a_torn_tail_without_buffering() {
+        // A frame claiming more than MAX_BUFFERED_FRAME: the scanner must
+        // not buffer the claim; it reports E007 with the true leftover
+        // count once the input ends.
+        let bytes = sample_log();
+        let scan_clean = scan(&bytes, false, 8192);
+        let first_obj_byte = match &scan_clean.chunks[0] {
+            Chunk::Frames(frames) => frames[0].byte as usize,
+            _ => unreachable!(),
+        };
+        drop(scan_clean);
+        let mut input = bytes[..first_obj_byte + 1].to_vec();
+        let mut prefix = Vec::new();
+        write_varint(&mut prefix, MAX_BUFFERED_FRAME + 1);
+        input.extend_from_slice(&prefix);
+        let junk = 100_000usize;
+        input.extend_from_slice(&vec![0u8; junk]);
+
+        let (scanner, _, _) = stream_scan(&input, true, 8192, 4096);
+        assert!(scanner.buffered_bytes() < 8192, "claim must not be buffered");
+        let e = scanner.state.errors.last().unwrap();
+        assert_eq!(e.code, ErrorCode::TornTail);
+        let left = (prefix.len() + junk) as u64 - prefix.len() as u64 - 1 + 1;
+        // left = remaining - header = (1 + prefix + junk) - (1 + prefix)
+        assert_eq!(left, junk as u64);
+        assert!(
+            e.message.contains(&format!("{junk} byte(s) left")),
+            "message `{}` must count the true leftover",
+            e.message
+        );
+        // The in-memory scan classifies this identically (the claim also
+        // exceeds that input's length).
+        let batch = scan(&input, true, 8192);
+        assert_eq!(batch.errors.last().unwrap(), e);
     }
 
     #[test]

@@ -291,6 +291,221 @@ impl Chunk<'_> {
     }
 }
 
+/// One record-bearing line batched by the text [`text::StreamScanner`]:
+/// where it sat in the input plus its extent in the owning
+/// [`OwnedLines::buf`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LineMeta {
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Byte offset of the line start (in lossy-decoded coordinates, like
+    /// the in-memory scan).
+    pub(crate) byte: u64,
+    /// Raw byte length, terminator included.
+    pub(crate) len: u64,
+    /// Extent of the line content (terminator excluded) in `buf`.
+    pub(crate) start: usize,
+    /// One past the end of the line content in `buf`.
+    pub(crate) end: usize,
+}
+
+/// An owned batch of `obj`/`gc` text lines: the contents are copied into
+/// one contiguous buffer so the chunk can cross a channel to a worker
+/// thread without borrowing the input, which the streaming reader has
+/// already thrown away.
+#[derive(Debug, Default)]
+pub(crate) struct OwnedLines {
+    /// Concatenated line contents, terminators excluded.
+    pub(crate) buf: String,
+    /// One entry per line, in input order.
+    pub(crate) metas: Vec<LineMeta>,
+}
+
+/// One record-bearing frame batched by the binary
+/// [`binary::StreamScanner`]: the frame envelope plus its payload extent
+/// in the owning [`OwnedFrames::buf`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameMeta {
+    /// 1-based frame number.
+    pub(crate) frame: usize,
+    /// Byte offset of the frame start (the tag byte).
+    pub(crate) byte: u64,
+    /// Total frame length: tag + length prefix + payload + checksum.
+    pub(crate) len: u64,
+    /// The frame tag.
+    pub(crate) tag: u8,
+    /// The stored checksum, not yet verified.
+    pub(crate) crc: u16,
+    /// Extent of the payload in `buf`.
+    pub(crate) start: usize,
+    /// One past the end of the payload in `buf`.
+    pub(crate) end: usize,
+}
+
+/// An owned batch of `obj`/`gc` binary frames (payloads only — the
+/// envelopes are re-described by the metas).
+#[derive(Debug, Default)]
+pub(crate) struct OwnedFrames {
+    /// Concatenated frame payloads.
+    pub(crate) buf: Vec<u8>,
+    /// One entry per frame, in input order.
+    pub(crate) metas: Vec<FrameMeta>,
+}
+
+/// The owned counterpart of [`Chunk`], produced by the incremental
+/// scanners behind [`crate::stream`]. Decoding rebuilds the borrowed
+/// `RawLine`/`RawFrame` views over the owned buffer and runs the *same*
+/// `parse_chunk` as the in-memory path — which is what makes the two
+/// paths agree error for error.
+#[derive(Debug)]
+pub(crate) enum OwnedChunk {
+    /// Text `obj`/`gc` lines.
+    Lines(OwnedLines),
+    /// Binary `obj`/`gc` frames.
+    Frames(OwnedFrames),
+}
+
+impl OwnedChunk {
+    /// Units (lines or frames) in the chunk. Chunks are never empty.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            OwnedChunk::Lines(c) => c.metas.len(),
+            OwnedChunk::Frames(c) => c.metas.len(),
+        }
+    }
+
+    /// (line-or-frame number, byte offset) of the chunk's first unit.
+    pub(crate) fn first_position(&self) -> (usize, u64) {
+        match self {
+            OwnedChunk::Lines(c) => {
+                let first = c.metas.first().expect("chunks are never empty");
+                (first.line, first.byte)
+            }
+            OwnedChunk::Frames(c) => {
+                let first = c.metas.first().expect("chunks are never empty");
+                (first.frame, first.byte)
+            }
+        }
+    }
+
+    /// Total raw input bytes covered by the chunk's units. This is what
+    /// the buffered-bytes accounting in [`crate::stream`] charges per
+    /// chunk; the owned buffer is never larger (terminators and frame
+    /// envelopes are not copied).
+    pub(crate) fn byte_len(&self) -> u64 {
+        match self {
+            OwnedChunk::Lines(c) => c.metas.iter().map(|m| m.len).sum(),
+            OwnedChunk::Frames(c) => c.metas.iter().map(|m| m.len).sum(),
+        }
+    }
+
+    /// Decodes the chunk, timing the decode and counting what it
+    /// produced; mirrors [`Chunk::decode`] exactly.
+    pub(crate) fn decode(&self, index: usize, salvage: bool) -> (ChunkOut, ShardMetrics) {
+        let t = Instant::now();
+        let out = match self {
+            OwnedChunk::Lines(c) => {
+                let views: Vec<text::RawLine<'_>> = c
+                    .metas
+                    .iter()
+                    .map(|m| text::RawLine {
+                        line: m.line,
+                        byte: m.byte,
+                        len: m.len,
+                        text: &c.buf[m.start..m.end],
+                        terminated: true,
+                    })
+                    .collect();
+                text::parse_chunk(&views, index, salvage)
+            }
+            OwnedChunk::Frames(c) => {
+                let views: Vec<binary::RawFrame<'_>> = c
+                    .metas
+                    .iter()
+                    .map(|m| binary::RawFrame {
+                        frame: m.frame,
+                        byte: m.byte,
+                        len: m.len,
+                        tag: m.tag,
+                        payload: &c.buf[m.start..m.end],
+                        crc: m.crc,
+                    })
+                    .collect();
+                binary::parse_chunk(&views, index, salvage)
+            }
+        };
+        let m = ShardMetrics {
+            shard: index,
+            records: out.records.len() as u64,
+            samples: out.samples.len() as u64,
+            groups: 0,
+            elapsed: t.elapsed(),
+        };
+        (out, m)
+    }
+}
+
+/// Shared state accumulated by the incremental scanners
+/// ([`text::StreamScanner`], [`binary::StreamScanner`]): the streaming
+/// counterpart of [`ScanOutput`], minus the chunks, which are handed off
+/// to workers as they fill instead of piling up.
+#[derive(Debug)]
+pub(crate) struct StreamScanState {
+    /// Chain-name table entries seen so far.
+    pub(crate) chain_names: HashMap<ChainId, String>,
+    /// Value of the `end` marker (0 until seen).
+    pub(crate) end_time: u64,
+    /// True when the `end` marker was seen.
+    pub(crate) saw_end: bool,
+    /// Scan-level errors, in input order.
+    pub(crate) errors: Vec<LogError>,
+    /// Lines/frames dropped by the scan (salvage only).
+    pub(crate) units_dropped: u64,
+    /// Bytes skipped by those drops (salvage only).
+    pub(crate) bytes_skipped: u64,
+    /// Where a missing-end-marker error should point; valid after
+    /// `finish`.
+    pub(crate) next_position: (usize, u64),
+    /// Latched by the first scan-level error in strict mode; the reader
+    /// should stop feeding (the in-memory scan breaks at the same point).
+    pub(crate) aborted: bool,
+    salvage: bool,
+}
+
+impl StreamScanState {
+    pub(crate) fn new(salvage: bool) -> Self {
+        StreamScanState {
+            chain_names: HashMap::new(),
+            end_time: 0,
+            saw_end: false,
+            errors: Vec::new(),
+            units_dropped: 0,
+            bytes_skipped: 0,
+            next_position: (1, 0),
+            aborted: false,
+            salvage,
+        }
+    }
+
+    /// True when decoding in salvage mode.
+    pub(crate) fn salvage(&self) -> bool {
+        self.salvage
+    }
+
+    /// Records a scan-level error over `raw_len` input bytes; mirrors
+    /// [`ScanOutput::note`], with the strict-mode abort latched instead
+    /// of returned.
+    pub(crate) fn note(&mut self, e: LogError, raw_len: u64) {
+        self.errors.push(e);
+        if self.salvage {
+            self.units_dropped += 1;
+            self.bytes_skipped += raw_len;
+        } else {
+            self.aborted = true;
+        }
+    }
+}
+
 /// Everything a codec's scan pass hands back to the shared ingest engine:
 /// the record chunks for the worker pool, the shared state parsed in place
 /// (chain table, end marker), and the scan-level errors and drop counts.

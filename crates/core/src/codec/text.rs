@@ -24,7 +24,9 @@ use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
 use crate::log::{ErrorCode, LogError};
 use crate::record::{GcSample, ObjectRecord};
 
-use super::{Chunk, ChunkOut, ScanOutput, TraceSink};
+use super::{
+    Chunk, ChunkOut, LineMeta, OwnedChunk, OwnedLines, ScanOutput, StreamScanState, TraceSink,
+};
 
 /// The line-1 header every v1 text log starts with.
 pub const TEXT_HEADER: &str = "heapdrag-log v1";
@@ -343,4 +345,308 @@ pub(crate) fn scan(text: &str, salvage: bool, chunk_records: usize) -> ScanOutpu
     out.chunks = chunks.into_iter().map(Chunk::Lines).collect();
     out.next_position = (last_line + 1, text.len() as u64);
     out
+}
+
+/// The incremental counterpart of [`scan`]: fed arbitrary byte blocks
+/// (however a reader happens to split them), it cuts at raw `\n` bytes,
+/// lossy-decodes each line on its own, and replays the exact per-line
+/// decision ladder of the in-memory scan. Cutting on raw `0x0A` before
+/// decoding is sound because `0x0A` never occurs inside a multi-byte
+/// UTF-8 sequence and always terminates an invalid run, so per-line lossy
+/// decoding concatenates to exactly the whole-input lossy decoding — line
+/// numbers and (lossy) byte offsets match the in-memory scan bit for bit.
+#[derive(Debug)]
+pub(crate) struct StreamScanner {
+    chunk_records: usize,
+    /// Raw bytes of the current, incomplete line.
+    carry: Vec<u8>,
+    /// Lines processed so far.
+    line: usize,
+    /// Cumulative lossy-decoded length, i.e. the byte offset (in
+    /// in-memory-scan coordinates) of the next line.
+    lossy_pos: u64,
+    current: OwnedLines,
+    /// The accumulated shared state; read it after [`Self::finish`].
+    pub(crate) state: StreamScanState,
+}
+
+impl StreamScanner {
+    pub(crate) fn new(salvage: bool, chunk_records: usize) -> Self {
+        StreamScanner {
+            chunk_records: chunk_records.max(1),
+            carry: Vec::new(),
+            line: 0,
+            lossy_pos: 0,
+            current: OwnedLines::default(),
+            state: StreamScanState::new(salvage),
+        }
+    }
+
+    /// Bytes currently held by the scanner itself (the torn-line carry
+    /// plus the partially-filled chunk), for the peak-memory gauge.
+    pub(crate) fn buffered_bytes(&self) -> u64 {
+        (self.carry.len() + self.current.buf.len()) as u64
+    }
+
+    /// Feeds one block of input; completed chunks are appended to `out`.
+    /// After a strict-mode error the scanner ignores further input (the
+    /// in-memory scan breaks at the same line).
+    pub(crate) fn feed(&mut self, data: &[u8], out: &mut Vec<OwnedChunk>) {
+        if self.state.aborted {
+            return;
+        }
+        let mut rest = data;
+        if !self.carry.is_empty() {
+            match rest.iter().position(|&b| b == b'\n') {
+                None => {
+                    self.carry.extend_from_slice(rest);
+                    return;
+                }
+                Some(i) => {
+                    self.carry.extend_from_slice(&rest[..i]);
+                    let line = std::mem::take(&mut self.carry);
+                    self.process_line(&line, true, out);
+                    rest = &rest[i + 1..];
+                }
+            }
+        }
+        while let Some(i) = rest.iter().position(|&b| b == b'\n') {
+            if self.state.aborted {
+                return;
+            }
+            self.process_line(&rest[..i], true, out);
+            rest = &rest[i + 1..];
+        }
+        if !rest.is_empty() && !self.state.aborted {
+            self.carry.extend_from_slice(rest);
+        }
+    }
+
+    /// Signals end-of-input: classifies a torn tail, flushes the partial
+    /// chunk, and finalises `next_position`.
+    pub(crate) fn finish(&mut self, out: &mut Vec<OwnedChunk>) {
+        if !self.state.aborted && !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.process_line(&line, false, out);
+        }
+        if !self.current.metas.is_empty() {
+            out.push(OwnedChunk::Lines(std::mem::take(&mut self.current)));
+        }
+        self.state.next_position = (self.line + 1, self.lossy_pos);
+    }
+
+    fn process_line(&mut self, raw: &[u8], terminated: bool, out: &mut Vec<OwnedChunk>) {
+        self.line += 1;
+        let n = self.line;
+        let content = String::from_utf8_lossy(raw);
+        let len = content.len() as u64 + u64::from(terminated);
+        let byte = self.lossy_pos;
+        self.lossy_pos += len;
+        if !terminated {
+            let mut e = LogError::new(
+                ErrorCode::TornTail,
+                n,
+                "unterminated final line (torn write)".into(),
+            );
+            e.byte = byte;
+            self.state.note(e, len);
+            return;
+        }
+        let trimmed = content.trim();
+        if n == 1 {
+            if trimmed == TEXT_HEADER {
+                return;
+            }
+            let mut e = LogError::new(
+                ErrorCode::BadHeader,
+                n,
+                format!("unrecognised header `{trimmed}`"),
+            );
+            e.byte = byte;
+            self.state.note(e, len);
+            return;
+        }
+        if trimmed.is_empty() {
+            return;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("end") => match field(&mut parts, n, "end time") {
+                Ok(t) => {
+                    self.state.end_time = t;
+                    self.state.saw_end = true;
+                }
+                Err(mut e) => {
+                    e.byte = byte;
+                    self.state.note(e, len);
+                }
+            },
+            Some("chain") => match field::<u32>(&mut parts, n, "chain id") {
+                Ok(id) => {
+                    let rest: Vec<&str> = parts.collect();
+                    self.state.chain_names.insert(ChainId(id), rest.join(" "));
+                }
+                Err(mut e) => {
+                    e.byte = byte;
+                    self.state.note(e, len);
+                }
+            },
+            Some("obj") | Some("gc") => {
+                let start = self.current.buf.len();
+                self.current.buf.push_str(&content);
+                self.current.metas.push(LineMeta {
+                    line: n,
+                    byte,
+                    len,
+                    start,
+                    end: self.current.buf.len(),
+                });
+                if self.current.metas.len() >= self.chunk_records {
+                    out.push(OwnedChunk::Lines(std::mem::take(&mut self.current)));
+                }
+            }
+            Some(other) => {
+                let mut e = LogError::new(
+                    ErrorCode::UnknownDirective,
+                    n,
+                    format!("unknown directive `{other}`"),
+                );
+                e.byte = byte;
+                self.state.note(e, len);
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::OwnedChunk;
+
+    /// Decodes every chunk of a batch scan, in order.
+    fn batch_outs(scan_out: &ScanOutput<'_>, salvage: bool) -> Vec<ChunkOut> {
+        scan_out
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.decode(i, salvage).0)
+            .collect()
+    }
+
+    /// Runs the incremental scanner over `bytes` in blocks of `feed`
+    /// bytes and decodes every chunk it produced.
+    fn stream_scan(
+        bytes: &[u8],
+        salvage: bool,
+        chunk_records: usize,
+        feed: usize,
+    ) -> (StreamScanner, Vec<ChunkOut>) {
+        let mut scanner = StreamScanner::new(salvage, chunk_records);
+        let mut chunks: Vec<OwnedChunk> = Vec::new();
+        for block in bytes.chunks(feed.max(1)) {
+            scanner.feed(block, &mut chunks);
+        }
+        scanner.finish(&mut chunks);
+        let outs = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.decode(i, salvage).0)
+            .collect();
+        (scanner, outs)
+    }
+
+    fn assert_same_out(a: &ChunkOut, b: &ChunkOut, ctx: &str) {
+        assert_eq!(a.records, b.records, "{ctx}: records");
+        assert_eq!(a.samples, b.samples, "{ctx}: samples");
+        assert_eq!(a.errors, b.errors, "{ctx}: errors");
+        assert_eq!(a.units_dropped, b.units_dropped, "{ctx}: units_dropped");
+        assert_eq!(a.bytes_skipped, b.bytes_skipped, "{ctx}: bytes_skipped");
+    }
+
+    /// Asserts the incremental scanner agrees with the batch scan on
+    /// `bytes` for every combination of mode, chunk size, and feed size.
+    fn assert_stream_matches_batch(bytes: &[u8], label: &str) {
+        let text = String::from_utf8_lossy(bytes).into_owned();
+        for salvage in [false, true] {
+            for chunk_records in [1, 3, 8192] {
+                let want = scan(&text, salvage, chunk_records);
+                let want_outs = batch_outs(&want, salvage);
+                for feed in [1, 2, 3, 7, 64, 4096] {
+                    let ctx = format!(
+                        "{label}: salvage={salvage} chunk_records={chunk_records} feed={feed}"
+                    );
+                    let (scanner, got_outs) = stream_scan(bytes, salvage, chunk_records, feed);
+                    assert_eq!(want_outs.len(), got_outs.len(), "{ctx}: chunk count");
+                    for (i, (a, b)) in want_outs.iter().zip(&got_outs).enumerate() {
+                        assert_same_out(a, b, &format!("{ctx}: chunk {i}"));
+                    }
+                    assert_eq!(want.errors, scanner.state.errors, "{ctx}: scan errors");
+                    if !scanner.state.aborted {
+                        assert_eq!(want.chain_names, scanner.state.chain_names, "{ctx}");
+                        assert_eq!(want.end_time, scanner.state.end_time, "{ctx}");
+                        assert_eq!(want.saw_end, scanner.state.saw_end, "{ctx}");
+                        assert_eq!(want.units_dropped, scanner.state.units_dropped, "{ctx}");
+                        assert_eq!(want.bytes_skipped, scanner.state.bytes_skipped, "{ctx}");
+                        assert_eq!(want.next_position, scanner.state.next_position, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_clean_log() {
+        let log = "heapdrag-log v1\n\
+                   chain 0 Main.main@3 \"big array\"\n\
+                   chain 1 Main.run@9\n\
+                   obj 1 2 816 16 900 320 0 1 0\n\
+                   obj 2 2 24 32 1000 - 1 - 1\n\
+                   gc 500 840 2\n\
+                   end 1000\n";
+        assert_stream_matches_batch(log.as_bytes(), "clean");
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_faults() {
+        let cases: &[(&str, &str)] = &[
+            ("torn tail", "heapdrag-log v1\nobj 1 2 816 16 900 320 0 1 0\ngc 500 840"),
+            ("bad header", "not a heapdrag log\nobj 1 2 816 16 900 320 0 1 0\nend 9\n"),
+            ("unknown directive", "heapdrag-log v1\nwat 1 2 3\nobj 1 2 816 16 900 320 0 1 0\nend 9\n"),
+            ("bad end value", "heapdrag-log v1\nobj 1 2 816 16 900 320 0 1 0\nend soon\n"),
+            ("bad chain id", "heapdrag-log v1\nchain x Main.main@3\nend 9\n"),
+            ("blank lines", "heapdrag-log v1\n\n  \nobj 1 2 816 16 900 320 0 1 0\n\nend 9\n"),
+            ("missing end", "heapdrag-log v1\nobj 1 2 816 16 900 320 0 1 0\n"),
+            ("bad obj field", "heapdrag-log v1\nobj 1 2 many 16 900 320 0 1 0\ngc 500 840 2\nend 9\n"),
+            ("torn header", "heapdrag-log"),
+            ("only header", "heapdrag-log v1\n"),
+        ];
+        for (label, log) in cases {
+            assert_stream_matches_batch(log.as_bytes(), label);
+        }
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch_on_invalid_utf8() {
+        // Invalid UTF-8 inside a chain name and inside an obj line: the
+        // per-line lossy decode must agree with the whole-input lossy
+        // decode, offsets included.
+        let mut log = b"heapdrag-log v1\nchain 0 Ma\xffin.m\xc3\x28ain@3\n".to_vec();
+        log.extend_from_slice(b"obj 1 2 816 16 900 320 \xf0\x9f 0 1 0\n");
+        log.extend_from_slice(b"obj 2 2 24 32 1000 - 0 - 1\nend 1000\n");
+        assert_stream_matches_batch(&log, "invalid utf8");
+    }
+
+    #[test]
+    fn scanner_buffered_bytes_tracks_carry_and_partial_chunk() {
+        let mut scanner = StreamScanner::new(false, 8192);
+        let mut out = Vec::new();
+        scanner.feed(b"heapdrag-log v1\nobj 1 2 816 16 900 320 0 1 0\npartial", &mut out);
+        assert!(out.is_empty());
+        // The obj line sits in the partial chunk, "partial" in the carry.
+        assert_eq!(
+            scanner.buffered_bytes(),
+            ("obj 1 2 816 16 900 320 0 1 0".len() + "partial".len()) as u64
+        );
+    }
 }

@@ -23,15 +23,20 @@
 //! [`integrals`] the space-time integrals, and [`compare`] the savings
 //! ratios of Tables 2 and 3.
 //!
-//! For production-size traces both off-line stages — log decoding and
-//! per-site aggregation — run sharded across worker threads; see
-//! [`parallel`] for the [`ParallelConfig`] knobs and the determinism
-//! argument (reports are byte-identical for every shard count).
+//! Every off-line entry point is reachable through one builder,
+//! [`Pipeline`]: in-memory or streaming input, strict or salvage fault
+//! policy, any shard count, either trace format. For production-size
+//! traces both off-line stages — log decoding and per-site aggregation —
+//! run sharded across worker threads; see [`parallel`] for the
+//! [`ParallelConfig`] knobs and the determinism argument (reports are
+//! byte-identical for every shard count). Traces larger than memory
+//! stream through [`Pipeline::analyze_reader`], which reads any
+//! [`std::io::Read`] in bounded memory (see [`stream`]).
 //!
 //! Logs from crashed, killed, or out-of-disk runs can still be analyzed:
-//! [`ingest_log`] in salvage mode drops what cannot be decoded, repairs a
-//! missing end-of-log marker, and reports a [`SalvageSummary`]; see
-//! [`log`] for the stable [`ErrorCode`] taxonomy.
+//! salvage mode ([`Pipeline::salvage`]) drops what cannot be decoded,
+//! repairs a missing end-of-log marker, and reports a [`SalvageSummary`];
+//! see [`log`] for the stable [`ErrorCode`] taxonomy.
 //!
 //! ```
 //! use heapdrag_core::{profile, DragAnalyzer, VmConfig};
@@ -67,25 +72,31 @@ pub mod integrals;
 pub mod log;
 pub mod parallel;
 pub mod pattern;
+pub mod pipeline;
 pub mod profiler;
 pub mod record;
 pub mod report;
+pub mod stream;
 pub mod timeline;
+mod u256;
 
 pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
 pub use codec::{BinarySink, LogFormat, TextSink, TraceSink};
 pub use compare::SavingsReport;
 pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
+#[allow(deprecated)]
+pub use log::{ingest_log, parse_log, parse_log_sharded, write_log, write_log_binary, write_log_to};
 pub use log::{
-    ingest_log, parse_log, parse_log_sharded, write_log, write_log_binary, write_log_to,
     ErrorCode, IngestConfig, IngestMode, Ingested, LogError, ParsedLog, SalvageSummary,
 };
 pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
+pub use pipeline::{Pipeline, PipelineError, StreamReport};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
 pub use profiler::{profile, profile_with, DragProfiler, ProfileRun, ProfilerMetrics};
 pub use record::{GcSample, ObjectRecord};
 pub use report::{anchor_site, render, ChainNamer, ProgramNamer};
+pub use stream::StreamStats;
 pub use timeline::{Timeline, TimelinePoint};
 
 // Re-export the VM config so downstream users rarely need heapdrag-vm

@@ -484,7 +484,19 @@ pub struct Ingested {
 /// # Errors
 ///
 /// Propagates writer I/O errors.
+#[deprecated(note = "use `Pipeline::options().format(..).write_to(run, program, writer)`")]
 pub fn write_log_to<W: io::Write>(
+    run: &ProfileRun,
+    program: &Program,
+    format: LogFormat,
+    writer: W,
+) -> io::Result<u64> {
+    write_run_to(run, program, format, writer)
+}
+
+/// The write engine behind [`crate::Pipeline::write_to`] and the
+/// deprecated `write_log*` wrappers.
+pub(crate) fn write_run_to<W: io::Write>(
     run: &ProfileRun,
     program: &Program,
     format: LogFormat,
@@ -528,20 +540,24 @@ fn drive_sink<S: TraceSink>(
 }
 
 /// Serialises a profiling run as a text log in one `String` — a thin
-/// wrapper over [`write_log_to`] for callers and tests that want the
-/// historical buffer-returning shape.
+/// wrapper for callers and tests that want the historical
+/// buffer-returning shape.
+#[deprecated(note = "use `Pipeline::options().write_to(run, program, &mut buf)`")]
 pub fn write_log(run: &ProfileRun, program: &Program) -> String {
     let mut buf = Vec::new();
-    write_log_to(run, program, LogFormat::Text, &mut buf)
+    write_run_to(run, program, LogFormat::Text, &mut buf)
         .expect("writing to a Vec cannot fail");
     String::from_utf8(buf).expect("the text codec emits UTF-8")
 }
 
 /// Serialises a profiling run as an HDLOG v2 binary log in one `Vec` —
 /// the binary sibling of [`write_log`].
+#[deprecated(
+    note = "use `Pipeline::options().format(LogFormat::Binary).write_to(run, program, &mut buf)`"
+)]
 pub fn write_log_binary(run: &ProfileRun, program: &Program) -> Vec<u8> {
     let mut buf = Vec::new();
-    write_log_to(run, program, LogFormat::Binary, &mut buf)
+    write_run_to(run, program, LogFormat::Binary, &mut buf)
         .expect("writing to a Vec cannot fail");
     buf
 }
@@ -559,8 +575,14 @@ pub fn write_log_binary(run: &ProfileRun, program: &Program) -> Vec<u8> {
 ///
 /// Returns the [`LogError`] of the first malformed line (smallest line
 /// number), with its stable [`ErrorCode`] and byte offset.
+#[deprecated(note = "use `Pipeline::options().ingest_bytes(text)`")]
 pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
-    parse_log_sharded(text, &ParallelConfig::sequential()).map(|(log, _)| log)
+    ingest_bytes_impl(
+        text.as_bytes(),
+        &ParallelConfig::sequential(),
+        &IngestConfig::strict(),
+    )
+    .map(|i| i.log)
 }
 
 /// Parses a phase-1 log strictly with a sharded record decoder.
@@ -578,11 +600,12 @@ pub fn parse_log(text: &str) -> Result<ParsedLog, LogError> {
 /// # Errors
 ///
 /// Returns the first malformed unit's [`LogError`], for any shard count.
+#[deprecated(note = "use `Pipeline::options().shards(n).ingest_bytes(text)`")]
 pub fn parse_log_sharded(
     text: &str,
     par: &ParallelConfig,
 ) -> Result<(ParsedLog, ParallelMetrics), LogError> {
-    ingest_log(text, par, &IngestConfig::strict()).map(|i| (i.log, i.metrics))
+    ingest_bytes_impl(text.as_bytes(), par, &IngestConfig::strict()).map(|i| (i.log, i.metrics))
 }
 
 /// The single ingestion engine behind every parse entry point: format
@@ -621,15 +644,17 @@ pub fn parse_log_sharded(
 /// # Errors
 ///
 /// Strict: the first malformed unit. Salvage: `E001` or `E008` only.
+#[deprecated(note = "use `Pipeline::options().salvage(..).ingest_bytes(input)` (or \
+`.ingest_reader(..)` for bounded-memory streaming)")]
 pub fn ingest_log(
     input: impl AsRef<[u8]>,
     par: &ParallelConfig,
     ingest: &IngestConfig,
 ) -> Result<Ingested, LogError> {
-    ingest_bytes(input.as_ref(), par, ingest)
+    ingest_bytes_impl(input.as_ref(), par, ingest)
 }
 
-fn ingest_bytes(
+pub(crate) fn ingest_bytes_impl(
     bytes: &[u8],
     par: &ParallelConfig,
     ingest: &IngestConfig,
@@ -851,6 +876,10 @@ fn ingest_bytes(
 }
 
 #[cfg(test)]
+// These tests exercise the deprecated wrappers on purpose: they are the
+// wrappers' own regression suite, pinning the behaviour `Pipeline`
+// terminals must keep matching.
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::record::ObjectRecord;
+use crate::u256::U256;
 
 /// The four site behaviours of §3.4, plus a catch-all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,48 +110,106 @@ impl Default for PatternConfig {
     }
 }
 
-/// Classifies the lifetime behaviour of one group of records (all from the
-/// same allocation site).
-pub fn classify(records: &[&ObjectRecord], config: &PatternConfig) -> LifetimePattern {
-    if records.is_empty() {
+/// True when the record's drag dominates its lifetime — the per-record
+/// predicate behind "mostly large drag". Each record votes independently,
+/// so the votes sum across shards like any other counter.
+pub(crate) fn is_large_drag(r: &ObjectRecord, config: &PatternConfig) -> bool {
+    let reach = r.reachable_time().max(1) as f64;
+    r.drag_time() as f64 / reach >= config.large_drag_fraction
+}
+
+/// Order-independent sums from which a group's lifetime pattern is fully
+/// derivable: object/never-used/large-drag counts plus the exact first and
+/// second moments of per-object drag. Merging two accumulators is integer
+/// addition, so the classification of a merged group cannot depend on how
+/// records were sharded, batched, or streamed — the one float conversion
+/// happens in [`classify_from_sums`], after all merging is done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PatternSums {
+    /// Number of records.
+    pub(crate) objects: u64,
+    /// Records never used within the constructor window.
+    pub(crate) never_used: u64,
+    /// Records passing [`is_large_drag`].
+    pub(crate) large_drag: u64,
+    /// Σ drag (byte²).
+    pub(crate) drag: u128,
+    /// Σ drag² (byte⁴) — exact, hence 256-bit.
+    pub(crate) drag_sq: U256,
+}
+
+impl PatternSums {
+    pub(crate) fn add(&mut self, r: &ObjectRecord, config: &PatternConfig) {
+        self.objects += 1;
+        if r.is_never_used(config.ctor_use_window) {
+            self.never_used += 1;
+        }
+        if is_large_drag(r, config) {
+            self.large_drag += 1;
+        }
+        let d = r.drag();
+        self.drag += d;
+        self.drag_sq.add_assign(U256::mul_u128(d, d));
+    }
+
+    pub(crate) fn merge(&mut self, other: &PatternSums) {
+        self.objects += other.objects;
+        self.never_used += other.never_used;
+        self.large_drag += other.large_drag;
+        self.drag += other.drag;
+        self.drag_sq.add_assign(other.drag_sq);
+    }
+}
+
+/// The coefficient of variation of per-object drag, from exact sums:
+/// `sqrt(E[d²] − mean²) / mean`. A zero drag sum means a zero mean, for
+/// which the CV is defined as 0 (matching the pre-streaming behaviour).
+pub(crate) fn cv_from_sums(objects: u64, drag: u128, drag_sq: U256) -> f64 {
+    if drag == 0 || objects == 0 {
+        return 0.0;
+    }
+    let n = objects as f64;
+    let mean = drag as f64 / n;
+    let ex2 = drag_sq.to_f64() / n;
+    let var = (ex2 - mean * mean).max(0.0);
+    var.sqrt() / mean
+}
+
+/// The §3.4 decision ladder over [`PatternSums`].
+pub(crate) fn classify_from_sums(sums: &PatternSums, config: &PatternConfig) -> LifetimePattern {
+    if sums.objects == 0 {
         return LifetimePattern::Mixed;
     }
-    let n = records.len() as f64;
-    let never = records
-        .iter()
-        .filter(|r| r.is_never_used(config.ctor_use_window))
-        .count() as f64;
-    if never == n {
+    let n = sums.objects as f64;
+    if sums.never_used == sums.objects {
         return LifetimePattern::AllNeverUsed;
     }
-    if never / n >= config.mostly_never_used {
+    if sums.never_used as f64 / n >= config.mostly_never_used {
         return LifetimePattern::MostlyNeverUsed;
     }
-    let large = records
-        .iter()
-        .filter(|r| {
-            let reach = r.reachable_time().max(1) as f64;
-            r.drag_time() as f64 / reach >= config.large_drag_fraction
-        })
-        .count() as f64;
     // Variance check before the large-drag check only when drag sizes are
     // wildly spread — a uniform set of large drags is actionable, a spread
     // is not.
-    let drags: Vec<f64> = records.iter().map(|r| r.drag() as f64).collect();
-    let mean = drags.iter().sum::<f64>() / n;
-    let cv = if mean > 0.0 {
-        let var = drags.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
-        var.sqrt() / mean
-    } else {
-        0.0
-    };
-    if large / n >= config.mostly_large_drag && cv <= config.high_variance_cv {
+    let cv = cv_from_sums(sums.objects, sums.drag, sums.drag_sq);
+    if sums.large_drag as f64 / n >= config.mostly_large_drag && cv <= config.high_variance_cv {
         return LifetimePattern::MostlyLargeDrag;
     }
     if cv > config.high_variance_cv {
         return LifetimePattern::HighVariance;
     }
     LifetimePattern::Mixed
+}
+
+/// Classifies the lifetime behaviour of one group of records (all from the
+/// same allocation site). Internally this folds the records into
+/// `PatternSums` and classifies the sums, so it agrees exactly with the
+/// sharded and streaming analyzers, which merge the same sums.
+pub fn classify(records: &[&ObjectRecord], config: &PatternConfig) -> LifetimePattern {
+    let mut sums = PatternSums::default();
+    for r in records {
+        sums.add(r, config);
+    }
+    classify_from_sums(&sums, config)
 }
 
 #[cfg(test)]
@@ -230,6 +289,37 @@ mod tests {
     #[test]
     fn empty_group_is_mixed() {
         assert_eq!(classify(&[], &PatternConfig::default()), LifetimePattern::Mixed);
+    }
+
+    #[test]
+    fn sums_are_split_invariant() {
+        // Folding the same records through any split of PatternSums must
+        // yield bit-identical sums (and hence the same classification) —
+        // the property the sharded and streaming analyzers rely on.
+        let config = PatternConfig::default();
+        let mut rs: Vec<ObjectRecord> = (0..23)
+            .map(|i| record(i * 7, (i % 3 == 0).then_some(i * 7 + 2_000), i * 7 + 90_000))
+            .collect();
+        rs.push(record(0, Some(10_000), 100_000_000));
+        let mut whole = PatternSums::default();
+        for r in &rs {
+            whole.add(r, &config);
+        }
+        for split in [1, 2, 5, rs.len()] {
+            let mut merged = PatternSums::default();
+            for chunk in rs.chunks(split) {
+                let mut part = PatternSums::default();
+                for r in chunk {
+                    part.add(r, &config);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(merged, whole, "split = {split}");
+            assert_eq!(
+                classify_from_sums(&merged, &config),
+                classify_from_sums(&whole, &config)
+            );
+        }
     }
 
     #[test]

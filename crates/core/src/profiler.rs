@@ -204,9 +204,10 @@ pub struct ProfileRun {
 
 impl ProfileRun {
     /// Streams this run's trace to `writer` in `format` — the profiler's
-    /// phase-1 output path. Delegates to [`crate::log::write_log_to`]; the
-    /// trace goes through a streaming [`crate::codec::TraceSink`], so it
-    /// never materialises as one in-memory buffer.
+    /// phase-1 output path (also reachable as
+    /// [`crate::Pipeline::write_to`]). The trace goes through a streaming
+    /// [`crate::codec::TraceSink`], so it never materialises as one
+    /// in-memory buffer.
     ///
     /// # Errors
     ///
@@ -217,7 +218,7 @@ impl ProfileRun {
         format: crate::codec::LogFormat,
         writer: W,
     ) -> std::io::Result<u64> {
-        crate::log::write_log_to(self, program, format, writer)
+        crate::log::write_run_to(self, program, format, writer)
     }
 }
 

@@ -1,0 +1,887 @@
+//! The streaming, bounded-memory ingestion engine behind
+//! [`Pipeline`](crate::pipeline::Pipeline).
+//!
+//! The in-memory engine ([`crate::ingest_log`]) needs the whole trace in
+//! one buffer. This module reads any [`std::io::Read`] in fixed blocks
+//! instead and keeps peak memory at O(shards × chunk):
+//!
+//! 1. The **coordinator** (the calling thread) reads blocks and feeds an
+//!    incremental scanner that cuts the stream at line/frame boundaries —
+//!    the same boundaries, the same error taxonomy, and the same chunking
+//!    as the in-memory scan — emitting self-contained owned chunks.
+//! 2. Chunks flow through a **bounded channel** to the same per-chunk
+//!    decoders the in-memory path uses. A semaphore-style gate at the
+//!    source caps chunks in flight (sent but not yet merged), so a slow
+//!    consumer exerts backpressure on the reader instead of growing a
+//!    queue. Stalls and the high-water mark of buffered bytes are
+//!    reported in [`StreamStats`].
+//! 3. A **merger** thread consumes decode results strictly in chunk-index
+//!    order (reordering out-of-order completions in a window the gate
+//!    keeps bounded) and folds records into the caller's fold — either a
+//!    record collector (streaming ingest) or the analyzer's partial
+//!    aggregates (streaming analyze, which never materialises the record
+//!    vector at all).
+//!
+//! Because chunk boundaries are input-determined, the merge runs in input
+//! order, and salvage's duplicate collapse happens at that ordered merge,
+//! the result is byte-identical to the in-memory engine for every shard
+//! count, both formats, strict and salvage — `tests/streaming_parity.rs`
+//! holds the two paths against each other.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
+
+use heapdrag_vm::ids::{ChainId, ObjectId};
+
+use crate::codec::{self, ChunkOut, LogFormat, OwnedChunk, StreamScanState};
+use crate::log::{ErrorCode, IngestConfig, LogError, SalvageSummary, FIRST_ERRORS_CAP};
+use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
+use crate::pipeline::PipelineError;
+use crate::record::{GcSample, ObjectRecord};
+
+/// How many bytes the coordinator reads per `read()` call.
+const READ_BLOCK: usize = 256 * 1024;
+
+/// Instrumentation of one streaming ingest: how hard the bounded-memory
+/// machinery worked. Published as `heapdrag_ingest_*` metrics by
+/// [`StreamStats::publish_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// High-water mark of bytes buffered by the pipeline at once: chunks
+    /// in flight (dispatched to decode workers but not yet merged) plus
+    /// the scanner's own carry. Bounded by roughly `2 × shards` chunks
+    /// plus one incomplete unit — the bound `tests/streaming_parity.rs`
+    /// asserts against a trace far larger than it.
+    pub peak_buffered_bytes: u64,
+    /// Times the reader had to wait because the full budget of in-flight
+    /// chunks was already decoding — the backpressure at work.
+    pub backpressure_stalls: u64,
+    /// Total bytes read from the input.
+    pub bytes_read: u64,
+    /// The largest single chunk, in input bytes.
+    pub max_chunk_bytes: u64,
+    /// Chunks dispatched to decode workers.
+    pub chunks: u64,
+}
+
+impl StreamStats {
+    /// Publishes the stats as `heapdrag_ingest_*` metrics: the buffer
+    /// high-water mark and stall count as high-water gauges, bytes and
+    /// chunks as counters.
+    pub fn publish_metrics(&self, registry: &heapdrag_obs::Registry) {
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        registry
+            .gauge("heapdrag_ingest_peak_buffered_bytes")
+            .set_max(clamp(self.peak_buffered_bytes));
+        registry
+            .gauge("heapdrag_ingest_backpressure_stalls")
+            .set_max(clamp(self.backpressure_stalls));
+        registry
+            .counter("heapdrag_ingest_bytes_total")
+            .add(self.bytes_read);
+        registry
+            .counter("heapdrag_ingest_chunks_total")
+            .add(self.chunks);
+    }
+}
+
+/// Where the merger folds kept records and samples, in input order.
+/// Implemented by the record collector (streaming ingest) and the
+/// analyzer fold (streaming analyze).
+pub(crate) trait StreamFold: Send {
+    /// Folds one kept object record (salvage duplicates never arrive).
+    fn record(&mut self, r: ObjectRecord);
+    /// Folds one kept deep-GC sample.
+    fn sample(&mut self, s: GcSample);
+}
+
+/// Everything a streaming ingest produced besides the fold itself.
+pub(crate) struct StreamedLog<F> {
+    /// The caller's fold, now holding the records or aggregates.
+    pub(crate) fold: F,
+    /// Final allocation-clock value (synthesized under salvage when the
+    /// end marker was missing).
+    pub(crate) end_time: u64,
+    /// Chain-name table.
+    pub(crate) chain_names: HashMap<ChainId, String>,
+    /// What salvage kept, dropped, and repaired.
+    pub(crate) salvage: SalvageSummary,
+    /// Parse-stage instrumentation (one [`ShardMetrics`] per chunk).
+    pub(crate) metrics: ParallelMetrics,
+    /// Streaming instrumentation.
+    pub(crate) stats: StreamStats,
+}
+
+/// One unit of work for a decode worker, plus the envelope the merger
+/// needs even if the decode panics.
+struct WorkItem {
+    index: usize,
+    units: usize,
+    first: (usize, u64),
+    bytes: u64,
+    chunk: OwnedChunk,
+}
+
+/// A decode result; `out` is `None` when the worker panicked on this
+/// chunk (degraded to a per-chunk `E010` by the merger, exactly like the
+/// in-memory engine's lost slots).
+struct WorkDone {
+    index: usize,
+    units: usize,
+    first: (usize, u64),
+    bytes: u64,
+    out: Option<(ChunkOut, ShardMetrics)>,
+}
+
+/// A counting gate bounding chunks in flight. Acquired by the reader
+/// before each send, released by the merger after each fold — so it also
+/// bounds the merger's reorder window, which is what makes the memory
+/// bound airtight (a channel-capacity bound alone would not cover
+/// out-of-order completions parked in the window).
+struct Gate {
+    inner: Mutex<usize>,
+    cond: Condvar,
+    cap: usize,
+}
+
+impl Gate {
+    fn new(cap: usize) -> Self {
+        Gate {
+            inner: Mutex::new(0),
+            cond: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Waits for a slot; true when it had to wait (a backpressure stall).
+    fn acquire(&self) -> bool {
+        let mut n = self.inner.lock().expect("gate poisoned");
+        let stalled = *n >= self.cap;
+        while *n >= self.cap {
+            n = self.cond.wait(n).expect("gate poisoned");
+        }
+        *n += 1;
+        stalled
+    }
+
+    fn release(&self) {
+        let mut n = self.inner.lock().expect("gate poisoned");
+        *n -= 1;
+        drop(n);
+        self.cond.notify_one();
+    }
+}
+
+/// The codec-dispatching wrapper over the two incremental scanners.
+enum Scanner {
+    Text(codec::text::StreamScanner),
+    Binary(codec::binary::StreamScanner),
+}
+
+impl Scanner {
+    fn new(format: LogFormat, salvage: bool, chunk_records: usize) -> Self {
+        match format {
+            LogFormat::Text => {
+                Scanner::Text(codec::text::StreamScanner::new(salvage, chunk_records))
+            }
+            LogFormat::Binary => {
+                Scanner::Binary(codec::binary::StreamScanner::new(salvage, chunk_records))
+            }
+        }
+    }
+
+    fn feed(&mut self, data: &[u8], out: &mut Vec<OwnedChunk>) {
+        match self {
+            Scanner::Text(s) => s.feed(data, out),
+            Scanner::Binary(s) => s.feed(data, out),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<OwnedChunk>) {
+        match self {
+            Scanner::Text(s) => s.finish(out),
+            Scanner::Binary(s) => s.finish(out),
+        }
+    }
+
+    fn buffered_bytes(&self) -> u64 {
+        match self {
+            Scanner::Text(s) => s.buffered_bytes(),
+            Scanner::Binary(s) => s.buffered_bytes(),
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        match self {
+            Scanner::Text(s) => s.state.aborted,
+            Scanner::Binary(s) => s.state.aborted,
+        }
+    }
+
+    fn into_state(self) -> StreamScanState {
+        match self {
+            Scanner::Text(s) => s.state,
+            Scanner::Binary(s) => s.state,
+        }
+    }
+}
+
+/// The merger's running state: chunk-order error collection, salvage
+/// accounting, duplicate collapse (in input order, hence shard-invariant),
+/// and the fold itself.
+struct Merger<F> {
+    fold: F,
+    salvage: bool,
+    errors: Vec<LogError>,
+    shard_metrics: Vec<ShardMetrics>,
+    units_dropped: u64,
+    bytes_skipped: u64,
+    duplicates_dropped: u64,
+    records_kept: u64,
+    samples_kept: u64,
+    /// Latest `freed`/sample time over kept events, for end-time
+    /// synthesis.
+    max_event: Option<u64>,
+    seen_objects: HashSet<ObjectId>,
+    seen_samples: HashSet<(u64, u64, u64)>,
+}
+
+impl<F: StreamFold> Merger<F> {
+    fn new(fold: F, salvage: bool) -> Self {
+        Merger {
+            fold,
+            salvage,
+            errors: Vec::new(),
+            shard_metrics: Vec::new(),
+            units_dropped: 0,
+            bytes_skipped: 0,
+            duplicates_dropped: 0,
+            records_kept: 0,
+            samples_kept: 0,
+            max_event: None,
+            seen_objects: HashSet::new(),
+            seen_samples: HashSet::new(),
+        }
+    }
+
+    /// Consumes one chunk's result; must be called in chunk-index order.
+    fn consume(&mut self, done: WorkDone) {
+        let Some((out, m)) = done.out else {
+            self.errors.push(LogError {
+                code: ErrorCode::WorkerLost,
+                line: done.first.0,
+                byte: done.first.1,
+                chunk: Some(done.index),
+                message: format!(
+                    "parse worker panicked; chunk {} ({} units) lost",
+                    done.index, done.units
+                ),
+            });
+            if self.salvage {
+                self.units_dropped += done.units as u64;
+                self.bytes_skipped += done.bytes;
+            }
+            return;
+        };
+        self.shard_metrics.push(m);
+        self.errors.extend(out.errors);
+        self.units_dropped += out.units_dropped;
+        self.bytes_skipped += out.bytes_skipped;
+        for r in out.records {
+            if self.salvage {
+                if !self.seen_objects.insert(r.object) {
+                    self.duplicates_dropped += 1;
+                    continue;
+                }
+                self.max_event = Some(self.max_event.map_or(r.freed, |m| m.max(r.freed)));
+            }
+            self.records_kept += 1;
+            self.fold.record(r);
+        }
+        for s in out.samples {
+            if self.salvage {
+                if !self
+                    .seen_samples
+                    .insert((s.time, s.reachable_bytes, s.reachable_count))
+                {
+                    self.duplicates_dropped += 1;
+                    continue;
+                }
+                self.max_event = Some(self.max_event.map_or(s.time, |m| m.max(s.time)));
+            }
+            self.samples_kept += 1;
+            self.fold.sample(s);
+        }
+    }
+}
+
+/// Reads one block, retrying on `Interrupted`; 0 means end-of-input.
+fn read_block<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, PipelineError> {
+    loop {
+        match reader.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(PipelineError::Io(e)),
+        }
+    }
+}
+
+/// Sends every pending chunk through the gate and the work channel,
+/// updating the buffered-bytes accounting.
+fn dispatch(
+    pending: &mut Vec<OwnedChunk>,
+    index: &mut usize,
+    scanner_buffered: u64,
+    gate: &Gate,
+    flight: &AtomicU64,
+    work_tx: &mpsc::SyncSender<WorkItem>,
+    stats: &mut StreamStats,
+) {
+    for chunk in pending.drain(..) {
+        let bytes = chunk.byte_len();
+        stats.max_chunk_bytes = stats.max_chunk_bytes.max(bytes);
+        stats.chunks += 1;
+        if gate.acquire() {
+            stats.backpressure_stalls += 1;
+        }
+        flight.fetch_add(bytes, Ordering::Relaxed);
+        let current = flight.load(Ordering::Relaxed) + scanner_buffered;
+        stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(current);
+        let item = WorkItem {
+            index: *index,
+            units: chunk.len(),
+            first: chunk.first_position(),
+            bytes,
+            chunk,
+        };
+        *index += 1;
+        if work_tx.send(item).is_err() {
+            // Every worker is gone; nothing downstream will release the
+            // slot we just took.
+            gate.release();
+            return;
+        }
+    }
+}
+
+/// The streaming engine: reads `reader` once in bounded blocks, decodes
+/// chunks on `par.shards` workers, and folds kept records/samples into
+/// `fold` in input order. Semantics (errors, salvage summary, kept set,
+/// end-time synthesis) are identical to [`crate::ingest_log`] on the same
+/// bytes.
+pub(crate) fn run<R: Read, F: StreamFold>(
+    mut reader: R,
+    par: &ParallelConfig,
+    ingest: &IngestConfig,
+    fold: F,
+) -> Result<StreamedLog<F>, PipelineError> {
+    let start = Instant::now();
+    let salvage = ingest.is_salvage();
+    let chunk_records = par.effective_chunk();
+    let workers = par.shards.max(1);
+
+    // Prime the stream far enough to detect the format by magic bytes.
+    let mut block = vec![0u8; READ_BLOCK];
+    let mut head: Vec<u8> = Vec::new();
+    let mut eof = false;
+    while head.len() < codec::binary::MAGIC.len() && !eof {
+        let n = read_block(&mut reader, &mut block)?;
+        if n == 0 {
+            eof = true;
+        } else {
+            head.extend_from_slice(&block[..n]);
+        }
+    }
+    if head.is_empty() {
+        return Err(LogError::new(ErrorCode::EmptyLog, 1, "empty log".into()).into());
+    }
+    let format = LogFormat::detect(&head);
+    let mut scanner = Scanner::new(format, salvage, chunk_records);
+
+    let mut stats = StreamStats::default();
+    let mut bytes_read = head.len() as u64;
+    let gate = Gate::new((2 * workers).max(2));
+    let flight = AtomicU64::new(0);
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(gate.cap);
+    let work_rx = Mutex::new(work_rx);
+    let (done_tx, done_rx) = mpsc::channel::<WorkDone>();
+
+    let split_start = Instant::now();
+    let mut read_elapsed = split_start.elapsed();
+    let (merger, io_result) = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let work_rx = &work_rx;
+            let done_tx = done_tx.clone();
+            s.spawn(move || loop {
+                let item = {
+                    let rx = work_rx.lock().expect("work queue poisoned");
+                    rx.recv()
+                };
+                let Ok(item) = item else { return };
+                let out = catch_unwind(AssertUnwindSafe(|| item.chunk.decode(item.index, salvage)))
+                    .ok();
+                let done = WorkDone {
+                    index: item.index,
+                    units: item.units,
+                    first: item.first,
+                    bytes: item.bytes,
+                    out,
+                };
+                if done_tx.send(done).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(done_tx);
+
+        let gate_ref = &gate;
+        let flight_ref = &flight;
+        let merger_handle = s.spawn(move || {
+            let mut merger = Merger::new(fold, salvage);
+            let mut window: BTreeMap<usize, WorkDone> = BTreeMap::new();
+            let mut next = 0usize;
+            while let Ok(done) = done_rx.recv() {
+                window.insert(done.index, done);
+                while let Some(d) = window.remove(&next) {
+                    flight_ref.fetch_sub(d.bytes, Ordering::Relaxed);
+                    merger.consume(d);
+                    gate_ref.release();
+                    next += 1;
+                }
+            }
+            merger
+        });
+
+        // The coordinator: read, scan, dispatch, repeat. A strict-mode
+        // scan abort stops the reading early; chunks already cut are
+        // still decoded so the smallest line number wins below.
+        let mut coordinate = || -> Result<(), PipelineError> {
+            let mut pending: Vec<OwnedChunk> = Vec::new();
+            let mut index = 0usize;
+            scanner.feed(&head, &mut pending);
+            dispatch(
+                &mut pending,
+                &mut index,
+                scanner.buffered_bytes(),
+                &gate,
+                &flight,
+                &work_tx,
+                &mut stats,
+            );
+            while !scanner.aborted() {
+                let n = read_block(&mut reader, &mut block)?;
+                if n == 0 {
+                    break;
+                }
+                bytes_read += n as u64;
+                scanner.feed(&block[..n], &mut pending);
+                dispatch(
+                    &mut pending,
+                    &mut index,
+                    scanner.buffered_bytes(),
+                    &gate,
+                    &flight,
+                    &work_tx,
+                    &mut stats,
+                );
+                let current = flight.load(Ordering::Relaxed) + scanner.buffered_bytes();
+                stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(current);
+            }
+            scanner.finish(&mut pending);
+            dispatch(
+                &mut pending,
+                &mut index,
+                scanner.buffered_bytes(),
+                &gate,
+                &flight,
+                &work_tx,
+                &mut stats,
+            );
+            Ok(())
+        };
+        let io_result = coordinate();
+        read_elapsed = split_start.elapsed();
+        drop(work_tx);
+        let merger = merger_handle.join().expect("merger thread panicked");
+        (merger, io_result)
+    });
+    io_result?;
+    stats.bytes_read = bytes_read;
+
+    // Final assembly — a line-for-line mirror of the in-memory engine's
+    // merge, so the two paths cannot drift.
+    let merge_start = Instant::now();
+    let StreamScanState {
+        chain_names,
+        end_time,
+        saw_end,
+        errors: scan_errors,
+        units_dropped,
+        bytes_skipped,
+        next_position,
+        ..
+    } = scanner.into_state();
+
+    let mut metrics = ParallelMetrics {
+        shards: merger.shard_metrics,
+        split_elapsed: read_elapsed,
+        ..ParallelMetrics::default()
+    };
+    let mut summary = SalvageSummary {
+        salvage,
+        format,
+        lines_dropped: units_dropped + merger.units_dropped,
+        bytes_skipped: bytes_skipped + merger.bytes_skipped,
+        duplicates_dropped: merger.duplicates_dropped,
+        ..SalvageSummary::default()
+    };
+    let mut all_errors = scan_errors;
+    all_errors.extend(merger.errors);
+    // The smallest line/frame number wins, wherever the error was found.
+    all_errors.sort_by_key(|e| e.line);
+
+    let mut end_time = end_time;
+    if !salvage {
+        if let Some(e) = all_errors.into_iter().next() {
+            return Err(e.into());
+        }
+        if !saw_end {
+            return Err(LogError {
+                code: ErrorCode::MissingEndMarker,
+                line: next_position.0,
+                byte: next_position.1,
+                chunk: None,
+                message: "no `end` marker — log truncated?".into(),
+            }
+            .into());
+        }
+    } else {
+        if !saw_end {
+            summary.synthesized_end = true;
+            all_errors.push(LogError {
+                code: ErrorCode::MissingEndMarker,
+                line: next_position.0,
+                byte: next_position.1,
+                chunk: None,
+                message: "no `end` marker — synthesizing exit time".into(),
+            });
+            end_time = merger.max_event.unwrap_or(0);
+        }
+        for e in &all_errors {
+            *summary.errors_by_code.entry(e.code).or_insert(0) += 1;
+        }
+        if summary.duplicates_dropped > 0 {
+            *summary
+                .errors_by_code
+                .entry(ErrorCode::DuplicateRecord)
+                .or_insert(0) += summary.duplicates_dropped;
+        }
+        summary.first_errors = all_errors.iter().take(FIRST_ERRORS_CAP).cloned().collect();
+        if let Some(max) = ingest.max_errors {
+            let total = summary.total_errors();
+            if total > max {
+                return Err(LogError::new(
+                    ErrorCode::TooManyErrors,
+                    0,
+                    format!("salvage found {total} errors, exceeding the bound of {max}"),
+                )
+                .into());
+            }
+        }
+    }
+    summary.records_kept = merger.records_kept;
+    summary.samples_kept = merger.samples_kept;
+    metrics.merge_elapsed = merge_start.elapsed();
+    metrics.total_elapsed = start.elapsed();
+
+    Ok(StreamedLog {
+        fold: merger.fold,
+        end_time,
+        chain_names,
+        salvage: summary,
+        metrics,
+        stats,
+    })
+}
+
+/// The streaming-ingest fold: collects records and samples, yielding the
+/// same [`crate::ParsedLog`] contents as the in-memory engine.
+#[derive(Debug, Default)]
+pub(crate) struct CollectFold {
+    pub(crate) records: Vec<ObjectRecord>,
+    pub(crate) samples: Vec<GcSample>,
+}
+
+impl StreamFold for CollectFold {
+    fn record(&mut self, r: ObjectRecord) {
+        self.records.push(r);
+    }
+
+    fn sample(&mut self, s: GcSample) {
+        self.samples.push(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{BinarySink, TextSink, TraceSink};
+    use crate::log::{ingest_bytes_impl, IngestConfig};
+    use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
+
+    /// A reader that hands out at most `max` bytes per `read()` call —
+    /// the pathological case for boundary handling.
+    struct TrickleReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        max: usize,
+    }
+
+    impl<'a> Read for TrickleReader<'a> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = (self.data.len() - self.pos).min(self.max).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn sample_records(n: u64) -> (Vec<ObjectRecord>, Vec<GcSample>) {
+        let records: Vec<ObjectRecord> = (0..n)
+            .map(|i| ObjectRecord {
+                object: ObjectId(i),
+                class: ClassId((i % 3) as u32),
+                size: 16 + (i % 5) * 8,
+                created: i * 10,
+                freed: i * 10 + 100,
+                last_use: (i % 4 != 0).then_some(i * 10 + 40),
+                alloc_site: ChainId((i % 4) as u32),
+                last_use_site: (i % 2 == 0).then_some(ChainId((i % 4) as u32)),
+                at_exit: i % 7 == 0,
+            })
+            .collect();
+        let samples: Vec<GcSample> = (0..n / 4)
+            .map(|i| GcSample {
+                time: i * 40,
+                reachable_bytes: 1000 + i * 3,
+                reachable_count: 10 + i,
+            })
+            .collect();
+        (records, samples)
+    }
+
+    fn encode(format: LogFormat, records: &[ObjectRecord], samples: &[GcSample], end: bool) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let write = |sink: &mut dyn TraceSink| {
+            sink.begin().unwrap();
+            for c in 0..4u32 {
+                sink.chain(ChainId(c), &format!("site {c}")).unwrap();
+            }
+            for (i, r) in records.iter().enumerate() {
+                sink.record(r).unwrap();
+                if i % 4 == 3 {
+                    if let Some(s) = samples.get(i / 4) {
+                        sink.sample(s).unwrap();
+                    }
+                }
+            }
+            if end {
+                sink.end(99_999).unwrap();
+            }
+        };
+        match format {
+            LogFormat::Text => {
+                let mut sink = TextSink::new(&mut buf);
+                write(&mut sink);
+            }
+            LogFormat::Binary => {
+                let mut sink = BinarySink::new(&mut buf);
+                write(&mut sink);
+            }
+        }
+        buf
+    }
+
+    fn assert_stream_matches_ingest(bytes: &[u8], ingest: IngestConfig) {
+        for shards in [1usize, 3, 5] {
+            for chunk_records in [1usize, 7, 8192] {
+                let par = ParallelConfig {
+                    shards,
+                    chunk_records,
+                };
+                let baseline = ingest_bytes_impl(bytes, &par, &ingest);
+                for max_read in [1usize, 13, 4096, READ_BLOCK + 1] {
+                    let reader = TrickleReader {
+                        data: bytes,
+                        pos: 0,
+                        max: max_read,
+                    };
+                    let streamed = run(reader, &par, &ingest, CollectFold::default());
+                    let ctx = format!(
+                        "shards={shards} chunk_records={chunk_records} max_read={max_read}"
+                    );
+                    match (&baseline, streamed) {
+                        (Ok(ing), Ok(out)) => {
+                            assert_eq!(out.fold.records, ing.log.records, "{ctx}");
+                            assert_eq!(out.fold.samples, ing.log.samples, "{ctx}");
+                            assert_eq!(out.end_time, ing.log.end_time, "{ctx}");
+                            assert_eq!(out.chain_names, ing.log.chain_names, "{ctx}");
+                            assert_eq!(out.salvage, ing.salvage, "{ctx}");
+                            assert_eq!(out.stats.bytes_read, bytes.len() as u64, "{ctx}");
+                        }
+                        (Err(be), Err(PipelineError::Log(se))) => {
+                            assert_eq!(&se, be, "{ctx}");
+                        }
+                        (b, s) => panic!("{ctx}: baseline {b:?} vs streamed ok={}", s.is_ok()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_clean_logs() {
+        let (records, samples) = sample_records(50);
+        for format in [LogFormat::Text, LogFormat::Binary] {
+            let bytes = encode(format, &records, &samples, true);
+            assert_stream_matches_ingest(&bytes, IngestConfig::strict());
+            assert_stream_matches_ingest(&bytes, IngestConfig::salvage());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_torn_logs() {
+        let (records, samples) = sample_records(30);
+        for format in [LogFormat::Text, LogFormat::Binary] {
+            let whole = encode(format, &records, &samples, false);
+            for cut in [whole.len(), whole.len() - 3, whole.len() / 2, 9] {
+                let bytes = &whole[..cut];
+                assert_stream_matches_ingest(bytes, IngestConfig::strict());
+                assert_stream_matches_ingest(bytes, IngestConfig::salvage());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_on_duplicates_and_garbage() {
+        let (records, samples) = sample_records(12);
+        // Text: duplicate a record line, interleave garbage directives.
+        let text = String::from_utf8(encode(LogFormat::Text, &records, &samples, true)).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let obj_line = *lines.iter().find(|l| l.starts_with("obj ")).unwrap();
+        lines.insert(6, obj_line);
+        lines.insert(3, "wat 1 2 3");
+        lines.insert(9, "obj not-a-number");
+        let mutated = lines.join("\n") + "\n";
+        assert_stream_matches_ingest(mutated.as_bytes(), IngestConfig::salvage());
+        assert_stream_matches_ingest(mutated.as_bytes(), IngestConfig::strict());
+        // Salvage error budget: identical E008 on both paths.
+        let bounded = IngestConfig {
+            mode: crate::log::IngestMode::Salvage,
+            max_errors: Some(1),
+        };
+        assert_stream_matches_ingest(mutated.as_bytes(), bounded);
+        // Binary: flip a byte mid-frame (checksum error on one frame).
+        let mut bin = encode(LogFormat::Binary, &records, &samples, true);
+        let mid = bin.len() / 2;
+        bin[mid] ^= 0x5a;
+        assert_stream_matches_ingest(&bin, IngestConfig::salvage());
+        assert_stream_matches_ingest(&bin, IngestConfig::strict());
+    }
+
+    #[test]
+    fn empty_input_is_e001() {
+        let r = TrickleReader {
+            data: b"",
+            pos: 0,
+            max: 1,
+        };
+        let err = run(
+            r,
+            &ParallelConfig::default(),
+            &IngestConfig::strict(),
+            CollectFold::default(),
+        )
+        .err()
+        .expect("empty input must fail");
+        match err {
+            PipelineError::Log(e) => assert_eq!(e.code, ErrorCode::EmptyLog),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_errors_surface_as_io() {
+        struct FailingReader {
+            served: usize,
+        }
+        impl Read for FailingReader {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.served == 0 {
+                    self.served = 1;
+                    let header = b"heapdrag-log v1\n";
+                    buf[..header.len()].copy_from_slice(header);
+                    Ok(header.len())
+                } else {
+                    Err(std::io::Error::other("disk on fire"))
+                }
+            }
+        }
+        let err = run(
+            FailingReader { served: 0 },
+            &ParallelConfig::default(),
+            &IngestConfig::salvage(),
+            CollectFold::default(),
+        )
+        .err()
+        .expect("io error must surface");
+        match err {
+            PipelineError::Io(e) => assert_eq!(e.to_string(), "disk on fire"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backpressure_bounds_buffered_bytes() {
+        // A slow fold forces the gate to fill; the peak must stay within
+        // the gate budget plus one unit of scanner carry.
+        struct SlowFold(CollectFold);
+        impl StreamFold for SlowFold {
+            fn record(&mut self, r: ObjectRecord) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                self.0.record(r);
+            }
+            fn sample(&mut self, s: GcSample) {
+                self.0.sample(s);
+            }
+        }
+        let (records, samples) = sample_records(600);
+        let bytes = encode(LogFormat::Text, &records, &samples, true);
+        let par = ParallelConfig {
+            shards: 2,
+            chunk_records: 8,
+        };
+        let out = run(
+            std::io::Cursor::new(&bytes),
+            &par,
+            &IngestConfig::strict(),
+            SlowFold(CollectFold::default()),
+        )
+        .expect("clean log");
+        assert_eq!(out.fold.0.records.len(), records.len());
+        let cap = 2 * par.shards as u64 + 2;
+        assert!(
+            out.stats.peak_buffered_bytes <= cap * out.stats.max_chunk_bytes + READ_BLOCK as u64,
+            "peak {} vs cap {} chunks of max {}",
+            out.stats.peak_buffered_bytes,
+            cap,
+            out.stats.max_chunk_bytes
+        );
+        assert!(out.stats.backpressure_stalls > 0, "slow fold must stall the reader");
+        assert_eq!(out.stats.bytes_read, bytes.len() as u64);
+    }
+}

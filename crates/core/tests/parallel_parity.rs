@@ -3,12 +3,29 @@
 //! malformed logs must report the same first error line as the sequential
 //! scan.
 
-use heapdrag_core::log::{parse_log, parse_log_sharded, write_log};
-use heapdrag_core::{profile, DragAnalyzer, DragReport, ParallelConfig, VmConfig};
 use heapdrag_core::record::ObjectRecord;
+use heapdrag_core::{
+    profile, DragAnalyzer, DragReport, LogError, ParallelConfig, Pipeline, VmConfig,
+};
 use heapdrag_testkit::{check, Rng};
 use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
-use heapdrag_vm::{ProgramBuilder, SiteId};
+use heapdrag_vm::{Program, ProgramBuilder, SiteId};
+
+fn text_log(run: &heapdrag_core::ProfileRun, program: &Program) -> String {
+    let mut buf = Vec::new();
+    Pipeline::options().write_to(run, program, &mut buf).expect("writes");
+    String::from_utf8(buf).expect("text log is utf-8")
+}
+
+fn pipeline_at(par: &ParallelConfig) -> Pipeline {
+    Pipeline::options().shards(par.shards).chunk_records(par.chunk_records)
+}
+
+fn parse_at(text: &str, par: &ParallelConfig) -> Result<heapdrag_core::Ingested, LogError> {
+    pipeline_at(par)
+        .ingest_bytes(text)
+        .map_err(|e| e.as_log().expect("log error").clone())
+}
 
 /// A program with several allocation sites of contrasting lifetimes: a
 /// dragged array (one early use, long drag), a never-used buffer, and a
@@ -38,13 +55,13 @@ fn workload_log() -> String {
     b.set_entry(main);
     let program = b.finish().expect("valid program");
     let run = profile(&program, &[], VmConfig::profiling()).expect("profiles");
-    write_log(&run, &program)
+    text_log(&run, &program)
 }
 
 fn analyze_at(text: &str, par: &ParallelConfig) -> DragReport {
-    let (parsed, _) = parse_log_sharded(text, par).expect("parses");
+    let parsed = parse_at(text, par).expect("parses").log;
     let (report, metrics) =
-        DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), par);
+        pipeline_at(par).analyze_records(&parsed.records, |c| Some(SiteId(c.0)));
     assert_eq!(metrics.total_records(), parsed.records.len() as u64);
     report
 }
@@ -88,12 +105,9 @@ fn random_records_report_is_identical_across_shard_counts() {
         let sequential =
             DragAnalyzer::new().analyze(&records, |c| Some(SiteId(c.0)));
         for shards in [1usize, 2, 8] {
-            let par = ParallelConfig::with_shards(shards);
-            let (report, _) = DragAnalyzer::new().analyze_sharded(
-                &records,
-                |c| Some(SiteId(c.0)),
-                &par,
-            );
+            let (report, _) = Pipeline::options()
+                .shards(shards)
+                .analyze_records(&records, |c| Some(SiteId(c.0)));
             assert_eq!(report, sequential, "shards = {shards}");
         }
     });
@@ -136,14 +150,14 @@ fn malformed_log_reports_same_line_for_every_shard_count() {
     text = mangled.join("\n");
     text.push('\n');
 
-    let sequential = parse_log(&text).expect_err("must fail");
+    let sequential = parse_at(&text, &ParallelConfig::sequential()).expect_err("must fail");
     assert_eq!(sequential.line, bad_line);
     for shards in [1usize, 2, 8] {
         let par = ParallelConfig {
             shards,
             chunk_records: 4,
         };
-        let err = parse_log_sharded(&text, &par).expect_err("must fail");
+        let err = parse_at(&text, &par).expect_err("must fail");
         assert_eq!(err.line, sequential.line, "shards = {shards}");
         assert_eq!(err.message, sequential.message, "shards = {shards}");
     }

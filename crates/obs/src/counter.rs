@@ -60,6 +60,14 @@ impl Gauge {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` if `v` is greater, leaving it unchanged
+    /// otherwise — a monotone high-water mark, safe to publish from
+    /// several threads at once.
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// The current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
@@ -88,5 +96,16 @@ mod tests {
         assert_eq!(g.get(), 7);
         g.set(-1);
         assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = Gauge::new();
+        g.set_max(5);
+        assert_eq!(g.get(), 5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
     }
 }

@@ -4,7 +4,7 @@
 //! workspace actually uses, so the test suite builds and runs with the
 //! network disabled.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`Rng`] — a deterministic SplitMix64 generator with the handful of
 //!   sampling helpers the generators in `tests/` need (ranges, booleans,
@@ -17,6 +17,10 @@
 //!   crashed/killed/out-of-disk runs do to trace files, for exercising
 //!   the salvage parser: [`Fault`]/[`inject`] for line-oriented text
 //!   logs, [`BinaryFault`]/[`inject_binary`] for HDLOG v2 frame streams.
+//! * [`reader`] — pathological [`std::io::Read`] wrappers
+//!   ([`TrickleReader`], [`StutterReader`]) that deliver input in
+//!   adversarially small or misaligned pieces, for exercising streaming
+//!   ingestion.
 //!
 //! ```
 //! use heapdrag_testkit::{check, Rng};
@@ -31,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod reader;
 pub mod rng;
 pub mod runner;
 
 pub use fault::{
     complete_frames, inject, inject_binary, BinaryFault, BinaryFaultReport, Fault, FaultReport,
 };
+pub use reader::{StutterReader, TrickleReader};
 pub use rng::Rng;
 pub use runner::{check, check_with, Config};

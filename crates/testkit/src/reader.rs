@@ -1,0 +1,120 @@
+//! Pathological [`std::io::Read`] implementations for exercising
+//! streaming ingestion: readers that return input in adversarially small
+//! or misaligned pieces, so codec unit boundaries (text lines, binary
+//! frames) land anywhere relative to `read` calls. A correct streaming
+//! consumer must produce identical results whatever the read geometry —
+//! these readers make "whatever" concrete.
+
+use std::io::{self, Read};
+
+/// Yields at most `max` bytes per `read` call, regardless of the buffer
+/// offered. `TrickleReader::new(data, 1)` is the worst case: every
+/// multi-byte token, frame header, and UTF-8 sequence arrives split.
+#[derive(Debug)]
+pub struct TrickleReader<R> {
+    inner: R,
+    max: usize,
+}
+
+impl<R: Read> TrickleReader<R> {
+    /// Wraps `inner`, capping every read at `max` bytes (`max` is clamped
+    /// to at least 1 so the reader cannot fake an EOF).
+    pub fn new(inner: R, max: usize) -> Self {
+        TrickleReader {
+            inner,
+            max: max.max(1),
+        }
+    }
+}
+
+impl<R: Read> Read for TrickleReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.max);
+        self.inner.read(&mut buf[..n])
+    }
+}
+
+/// Cycles through a fixed pattern of read sizes — primes by default — so
+/// successive reads are never aligned with any power-of-two block size or
+/// with the input's own record boundaries.
+#[derive(Debug)]
+pub struct StutterReader<R> {
+    inner: R,
+    sizes: Vec<usize>,
+    next: usize,
+}
+
+/// The default size cycle of [`StutterReader::new`]: small primes plus a
+/// 1, so a boundary eventually lands inside every multi-byte token.
+pub const STUTTER_SIZES: [usize; 7] = [3, 7, 1, 13, 31, 2, 61];
+
+impl<R: Read> StutterReader<R> {
+    /// Wraps `inner` with the [`STUTTER_SIZES`] cycle.
+    pub fn new(inner: R) -> Self {
+        Self::with_sizes(inner, STUTTER_SIZES.to_vec())
+    }
+
+    /// Wraps `inner` with an explicit size cycle (zeros are bumped to 1 —
+    /// a zero-length read would be indistinguishable from EOF).
+    pub fn with_sizes(inner: R, sizes: Vec<usize>) -> Self {
+        let mut sizes: Vec<usize> = sizes.into_iter().map(|s| s.max(1)).collect();
+        if sizes.is_empty() {
+            sizes.push(1);
+        }
+        StutterReader {
+            inner,
+            sizes,
+            next: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for StutterReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let want = self.sizes[self.next % self.sizes.len()];
+        self.next = self.next.wrapping_add(1);
+        let n = buf.len().min(want);
+        self.inner.read(&mut buf[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trickle_reader_delivers_everything_one_byte_at_a_time() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut r = TrickleReader::new(&data[..], 1);
+        let mut buf = [0u8; 64];
+        let mut out = Vec::new();
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert_eq!(n, 1, "never more than the cap");
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn stutter_reader_is_lossless_and_misaligned() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut r = StutterReader::new(&data[..]);
+        let mut buf = [0u8; 256];
+        let mut out = Vec::new();
+        let mut saw_small = false;
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            saw_small |= n == 1;
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, data);
+        assert!(saw_small, "the cycle includes a 1-byte read");
+    }
+}

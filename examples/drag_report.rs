@@ -8,8 +8,7 @@
 //! cargo run --example drag_report -- jack 15         # top 15 sites
 //! ```
 
-use heapdrag::core::log::{parse_log, write_log};
-use heapdrag::core::{profile, render, DragAnalyzer, VmConfig};
+use heapdrag::core::{profile, render, Pipeline, VmConfig};
 use heapdrag::workloads::workload_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,9 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 1: profile and write the log file.
     let run = profile(&program, &input, VmConfig::profiling())?;
-    let log_text = write_log(&run, &program);
     let log_path = std::env::temp_dir().join(format!("heapdrag-{name}.log"));
-    std::fs::write(&log_path, &log_text)?;
+    let mut file = std::fs::File::create(&log_path)?;
+    Pipeline::options().write_to(&run, &program, &mut file)?;
     println!(
         "phase 1: profiled `{name}` — {} objects, {} deep GCs, log at {}",
         run.records.len(),
@@ -33,14 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         log_path.display()
     );
 
-    // Phase 2: read the log back (no program needed) and analyze.
-    let parsed = parse_log(&std::fs::read_to_string(&log_path)?)?;
-    let report = DragAnalyzer::new().analyze(&parsed.records, |c| {
-        // The log carries chain names rather than the site table; treat
-        // each chain as its own coarse site.
-        Some(heapdrag::vm::SiteId(c.0))
-    });
-    println!("\n{}", render(&report, &parsed, top));
+    // Phase 2: stream the log back (no program needed) and analyze. The
+    // log carries chain names rather than the site table, so the default
+    // resolver treats each chain as its own coarse site.
+    let streamed = Pipeline::options().analyze_reader(std::fs::File::open(&log_path)?)?;
+    println!("\n{}", render(&streamed.report, &streamed, top));
     println!(
         "manual rewriting for {name} (Table 5): {} ({})",
         workload.rewriting, workload.reference_kinds

@@ -4,7 +4,7 @@
 //! ```text
 //! heapdrag run      <prog.hdasm> [input ints…]
 //! heapdrag profile  <prog.hdasm> -o <out.log> [--log-format text|binary] [--interval-kb N] [input ints…]
-//! heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
+//! heapdrag report   <log file | -> [--top N] [--shards N] [--chunk-records N]
 //! heapdrag timeline <prog.hdasm> [input ints…]
 //! heapdrag optimize <prog.hdasm> -o <out.hdasm> [input ints…]
 //! ```
@@ -14,6 +14,12 @@
 //! to the output file. Log-reading commands autodetect the format from the
 //! file's first bytes, so no flag is needed on the read side. The report
 //! is byte-identical whichever format carried the trace.
+//!
+//! `report` (alias: `analyze`) streams the trace through
+//! [`Pipeline::analyze_reader`] in bounded memory — records fold straight
+//! into per-site aggregates as chunks decode, so traces larger than RAM
+//! work. Pass `-` as the log path to read the trace from stdin:
+//! `heapdrag profile p.hdasm -o /dev/stdout | heapdrag report -`.
 //!
 //! `--shards N` runs the off-line phase (log decoding and per-site
 //! aggregation) on N worker threads; the report is byte-identical to the
@@ -32,9 +38,9 @@
 
 use std::process::ExitCode;
 
-use heapdrag::core::log::{ingest_log, IngestConfig, IngestMode, SalvageSummary};
+use heapdrag::core::log::{IngestConfig, IngestMode, SalvageSummary};
 use heapdrag::core::{
-    profile_with, render, DragAnalyzer, LogFormat, ParallelConfig, Timeline, VmConfig,
+    profile_with, render, LogFormat, ParallelConfig, Pipeline, StreamReport, Timeline, VmConfig,
 };
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
@@ -47,8 +53,9 @@ const USAGE: &str = "usage:
   heapdrag compile  <prog.hdj> -o <out.hdasm>
   heapdrag profile  <prog> -o <out.log> [--log-format text|binary]
                     [--interval-kb N] [input ints...]
-  heapdrag report   <log file> [--top N] [--shards N] [--chunk-records N]
-  heapdrag inspect  <log file> <rank> [--shards N]   (lifetime histograms of the rank-th site)
+  heapdrag report   <log file | -> [--top N] [--shards N] [--chunk-records N]
+                    (`analyze` is an alias; `-` streams the trace from stdin)
+  heapdrag inspect  <log file | -> <rank> [--shards N]   (lifetime histograms of the rank-th site)
   heapdrag timeline <prog> [input ints...]
   heapdrag optimize <prog> -o <out.hdasm> [input ints...]
 
@@ -62,7 +69,7 @@ profile flags:
                          default) or `binary` (HDLOG v2 frames, ~2x
                          smaller and faster to ingest); readers autodetect
 
-log ingestion flags (report / inspect):
+log ingestion flags (report / analyze / inspect):
   --strict               abort at the first malformed log line (default)
   --salvage              drop corrupt lines, repair a missing end marker,
                          and append a salvage summary to the report
@@ -151,15 +158,97 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Parses and analyzes a log file under the configured sharding and
-/// ingest mode. The trace format (text `heapdrag-log v1` or HDLOG v2
-/// binary) is autodetected from the file's first bytes.
-/// Stage instrumentation goes into `registry` (when one is
-/// attached via `--metrics-out`) and is printed to stderr only under
-/// `--verbose-metrics`. In salvage mode the returned [`SalvageSummary`]
-/// says what was dropped or repaired and the `heapdrag_salvage_*` family
-/// is published.
-fn analyze_log_file(
+/// Builds the [`Pipeline`] the log-reading commands share from the parsed
+/// command-line flags.
+fn pipeline_for(parallel: &ParallelConfig, ingest: &IngestConfig) -> Pipeline {
+    let mut pipe = Pipeline::options()
+        .shards(parallel.shards)
+        .chunk_records(parallel.chunk_records);
+    if ingest.is_salvage() {
+        pipe = pipe.salvage(ingest.max_errors);
+    }
+    pipe
+}
+
+/// Opens the trace source for the log-reading commands: a file path, or
+/// stdin when the path is `-`. The streaming pipeline does its own
+/// block-sized reads, so no buffering layer is needed here.
+fn open_trace(path: &str) -> Result<Box<dyn std::io::Read>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdin().lock()))
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        Ok(Box::new(file))
+    }
+}
+
+/// Publishes the log-I/O metrics every log-reading command emits: total
+/// bytes by detected format, decode wall-clock, and the streaming
+/// `heapdrag_ingest_*` family (buffer high-water mark, backpressure
+/// stalls).
+fn publish_log_io(
+    registry: &Registry,
+    salvage: &SalvageSummary,
+    stats: &heapdrag::core::StreamStats,
+    decode_elapsed: std::time::Duration,
+) {
+    registry
+        .counter(&format!(
+            "heapdrag_log_bytes_total{{format=\"{}\"}}",
+            salvage.format
+        ))
+        .add(stats.bytes_read);
+    registry
+        .histogram("heapdrag_log_decode_us")
+        .observe_duration(decode_elapsed);
+    stats.publish_metrics(registry);
+}
+
+/// Streams and analyzes a trace in bounded memory under the configured
+/// sharding and ingest mode — the `report`/`analyze` path. The trace
+/// format (text `heapdrag-log v1` or HDLOG v2 binary) is autodetected
+/// from the stream's first bytes; `-` reads from stdin. Records fold
+/// into per-site aggregates as chunks decode, so no record vector is
+/// ever materialised. Stage instrumentation goes into `registry` (when
+/// one is attached via `--metrics-out`) and is printed to stderr only
+/// under `--verbose-metrics`. In salvage mode the report's
+/// [`SalvageSummary`] says what was dropped or repaired and the
+/// `heapdrag_salvage_*` family is published.
+fn analyze_log_stream(
+    path: &str,
+    parallel: &ParallelConfig,
+    ingest: &IngestConfig,
+    registry: Option<&Registry>,
+    verbose: bool,
+) -> Result<StreamReport, String> {
+    let reader = open_trace(path)?;
+    let decode_start = std::time::Instant::now();
+    let streamed = pipeline_for(parallel, ingest)
+        .analyze_reader(reader)
+        .map_err(|e| e.to_string())?;
+    let decode_elapsed = decode_start.elapsed();
+    if verbose {
+        eprint!("{}", streamed.parse_metrics.render("parse"));
+        eprint!("{}", streamed.analyze_metrics.render("analyze"));
+    }
+    if let Some(registry) = registry {
+        publish_log_io(registry, &streamed.salvage, &streamed.stats, decode_elapsed);
+        streamed.parse_metrics.publish("parse", registry);
+        streamed.analyze_metrics.publish("analyze", registry);
+        streamed.publish_metrics(registry);
+        streamed.report.publish_metrics(registry);
+        if streamed.salvage.salvage {
+            streamed.salvage.publish_metrics(registry);
+        }
+    }
+    Ok(streamed)
+}
+
+/// Like [`analyze_log_stream`] but materialises the record vector —
+/// `inspect` needs the raw records to build per-site lifetime
+/// histograms. The trace still streams in through the bounded-memory
+/// reader; only the kept records are retained.
+fn ingest_log_stream(
     path: &str,
     parallel: &ParallelConfig,
     ingest: &IngestConfig,
@@ -173,29 +262,20 @@ fn analyze_log_file(
     ),
     String,
 > {
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let reader = open_trace(path)?;
+    let pipe = pipeline_for(parallel, ingest);
     let decode_start = std::time::Instant::now();
-    let ingested = ingest_log(&bytes, parallel, ingest).map_err(|e| e.to_string())?;
+    let (ingested, stats) = pipe.ingest_reader(reader).map_err(|e| e.to_string())?;
     let decode_elapsed = decode_start.elapsed();
     let (parsed, parse_metrics, salvage) = (ingested.log, ingested.metrics, ingested.salvage);
-    if let Some(registry) = registry {
-        registry
-            .counter(&format!(
-                "heapdrag_log_bytes_total{{format=\"{}\"}}",
-                salvage.format
-            ))
-            .add(bytes.len() as u64);
-        registry
-            .histogram("heapdrag_log_decode_us")
-            .observe_duration(decode_elapsed);
-    }
     let (report, analyze_metrics) =
-        DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), parallel);
+        pipe.analyze_records(&parsed.records, |c| Some(SiteId(c.0)));
     if verbose {
         eprint!("{}", parse_metrics.render("parse"));
         eprint!("{}", analyze_metrics.render("analyze"));
     }
     if let Some(registry) = registry {
+        publish_log_io(registry, &salvage, &stats, decode_elapsed);
         parse_metrics.publish("parse", registry);
         analyze_metrics.publish("analyze", registry);
         parsed.publish_metrics(registry);
@@ -302,18 +382,18 @@ fn run_main() -> Result<(), String> {
                 program.code_size()
             );
         }
-        "report" => {
+        "report" | "analyze" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
-            let (parsed, report, salvage) = analyze_log_file(
+            let streamed = analyze_log_stream(
                 log_path,
                 &args.parallel,
                 &args.ingest,
                 registry.as_ref(),
                 args.verbose_metrics,
             )?;
-            print!("{}", render(&report, &parsed, args.top));
-            if salvage.salvage {
-                print!("\n{}", salvage.render_footer());
+            print!("{}", render(&streamed.report, &streamed, args.top));
+            if streamed.salvage.salvage {
+                print!("\n{}", streamed.salvage.render_footer());
             }
         }
         "inspect" => {
@@ -324,7 +404,7 @@ fn run_main() -> Result<(), String> {
                 .ok_or("inspect needs a site rank (1 = highest drag)")?
                 .parse()
                 .map_err(|_| "bad rank")?;
-            let (parsed, report, _salvage) = analyze_log_file(
+            let (parsed, report, _salvage) = ingest_log_stream(
                 log_path,
                 &args.parallel,
                 &args.ingest,

@@ -5,19 +5,24 @@
 //! codec abstraction: the format is a transport detail, never visible in
 //! the analysis.
 
-use heapdrag::core::log::{ingest_log, write_log, write_log_binary, IngestConfig};
-use heapdrag::core::{profile, render, DragAnalyzer, LogFormat, ParallelConfig, VmConfig};
+use heapdrag::core::{profile, render, DragAnalyzer, LogFormat, Pipeline, VmConfig};
 use heapdrag::vm::SiteId;
 use heapdrag::workloads::workload_by_name;
 
 const WORKLOADS: [&str; 3] = ["jess", "jack", "juru"];
 const SHARDS: [usize; 3] = [1, 4, 7];
 
-fn par(shards: usize) -> ParallelConfig {
-    ParallelConfig {
-        shards,
-        chunk_records: 64,
-    }
+fn pipe(shards: usize) -> Pipeline {
+    Pipeline::options().shards(shards).chunk_records(64)
+}
+
+fn encode(run: &heapdrag::core::ProfileRun, program: &heapdrag::vm::Program, format: LogFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    Pipeline::options()
+        .format(format)
+        .write_to(run, program, &mut buf)
+        .expect("writes");
+    buf
 }
 
 #[test]
@@ -28,9 +33,9 @@ fn text_and_binary_logs_ingest_identically_at_every_shard_count() {
         let run = profile(&program, &(w.default_input)(), VmConfig::profiling())
             .unwrap_or_else(|e| panic!("{name} profiles: {e}"));
 
-        let text = write_log(&run, &program);
-        let binary = write_log_binary(&run, &program);
-        assert_eq!(LogFormat::detect(text.as_bytes()), LogFormat::Text);
+        let text = encode(&run, &program, LogFormat::Text);
+        let binary = encode(&run, &program, LogFormat::Binary);
+        assert_eq!(LogFormat::detect(&text), LogFormat::Text);
         assert_eq!(LogFormat::detect(&binary), LogFormat::Binary);
         assert!(
             binary.len() < text.len(),
@@ -39,9 +44,11 @@ fn text_and_binary_logs_ingest_identically_at_every_shard_count() {
 
         let mut reports = Vec::new();
         for shards in SHARDS {
-            let t = ingest_log(&text, &par(shards), &IngestConfig::strict())
+            let t = pipe(shards)
+                .ingest_bytes(&text)
                 .unwrap_or_else(|e| panic!("{name}: text ingests at {shards} shards: {e}"));
-            let b = ingest_log(&binary, &par(shards), &IngestConfig::strict())
+            let b = pipe(shards)
+                .ingest_bytes(&binary)
                 .unwrap_or_else(|e| panic!("{name}: binary ingests at {shards} shards: {e}"));
             assert_eq!(t.log, b.log, "{name}: ParsedLogs differ at {shards} shards");
             assert_eq!(t.salvage.format, LogFormat::Text);
@@ -69,8 +76,8 @@ fn text_and_binary_logs_ingest_identically_at_every_shard_count() {
 
         // Salvage mode on clean input is format-agnostic too, apart from
         // the reported input format itself.
-        let ts = ingest_log(&text, &par(4), &IngestConfig::salvage()).expect("salvage text");
-        let bs = ingest_log(&binary, &par(4), &IngestConfig::salvage()).expect("salvage binary");
+        let ts = pipe(4).salvage(None).ingest_bytes(&text).expect("salvage text");
+        let bs = pipe(4).salvage(None).ingest_bytes(&binary).expect("salvage binary");
         assert_eq!(ts.log, bs.log, "{name}: salvage-mode logs differ");
         assert!(
             ts.salvage.render_footer().contains("input format:       text"),

@@ -2,17 +2,22 @@
 //! counters (published by the profiler while the VM runs) must agree
 //! *exactly* with the counters the off-line phase re-derives from the log
 //! file — and the off-line side must publish the same numbers for every
-//! shard count, because `parse_log_sharded` is deterministic.
+//! shard count, because the sharded ingest is deterministic.
 //!
 //! Any drift here means an event was double-counted, dropped, or counted
 //! on a hot path that races the observer — exactly the bugs a metrics
 //! layer exists to catch.
 
-use heapdrag::core::log::{ingest_log, parse_log_sharded, write_log, IngestConfig};
-use heapdrag::core::{profile_with, render, DragAnalyzer, ParallelConfig, VmConfig};
+use heapdrag::core::{profile_with, render, Pipeline, ProfileRun, VmConfig};
 use heapdrag::obs::{Registry, Snapshot};
-use heapdrag::vm::{OpcodeClass, SiteId};
+use heapdrag::vm::{OpcodeClass, Program, SiteId};
 use heapdrag::workloads::workload_by_name;
+
+fn write_log(run: &ProfileRun, program: &Program) -> String {
+    let mut buf = Vec::new();
+    Pipeline::options().write_to(run, program, &mut buf).expect("writes");
+    String::from_utf8(buf).expect("text log is utf-8")
+}
 
 /// The counters both phases publish under identical names.
 const RECONCILED_COUNTERS: [&str; 5] = [
@@ -53,10 +58,11 @@ fn reconciled(snapshot: &Snapshot) -> Vec<(String, i64)> {
 /// fresh registry, publishing everything the CLI's `report` command would.
 fn offline_snapshot(log_text: &str, shards: usize) -> Snapshot {
     let registry = Registry::new();
-    let parallel = ParallelConfig::with_shards(shards);
-    let (parsed, parse_metrics) = parse_log_sharded(log_text, &parallel).expect("log parses");
+    let pipe = Pipeline::options().shards(shards);
+    let ingested = pipe.ingest_bytes(log_text).expect("log parses");
+    let (parsed, parse_metrics) = (ingested.log, ingested.metrics);
     let (report, analyze_metrics) =
-        DragAnalyzer::new().analyze_sharded(&parsed.records, |c| Some(SiteId(c.0)), &parallel);
+        pipe.analyze_records(&parsed.records, |c| Some(SiteId(c.0)));
     parse_metrics.publish("parse", &registry);
     analyze_metrics.publish("analyze", &registry);
     parsed.publish_metrics(&registry);
@@ -200,17 +206,13 @@ fn salvaged_corrupt_logs_are_shard_invariant_end_to_end() {
         ("duplicated-block", &duplicated),
     ] {
         let ingest = |shards: usize| {
-            let par = ParallelConfig {
-                shards,
-                chunk_records: 256,
-            };
-            let ingested =
-                ingest_log(text, &par, &IngestConfig::salvage()).expect("salvage succeeds");
-            let (report, _) = DragAnalyzer::new().analyze_sharded(
-                &ingested.log.records,
-                |c| Some(SiteId(c.0)),
-                &par,
-            );
+            let pipe = Pipeline::options()
+                .shards(shards)
+                .chunk_records(256)
+                .salvage(None);
+            let ingested = pipe.ingest_bytes(text).expect("salvage succeeds");
+            let (report, _) =
+                pipe.analyze_records(&ingested.log.records, |c| Some(SiteId(c.0)));
             let rendered = render(&report, &ingested.log, 10) + &ingested.salvage.render_footer();
             let registry = Registry::new();
             ingested.salvage.publish_metrics(&registry);

@@ -20,8 +20,8 @@
 
 use std::collections::HashMap;
 
-use heapdrag::core::log::{ingest_log, IngestConfig, Ingested};
-use heapdrag::core::{ObjectRecord, ParallelConfig};
+use heapdrag::core::log::Ingested;
+use heapdrag::core::{ObjectRecord, Pipeline};
 use heapdrag::vm::ObjectId;
 use heapdrag_testkit::{check, inject, Fault, Rng};
 
@@ -30,11 +30,8 @@ use heapdrag_testkit::{check, inject, Fault, Rng};
 /// chunking), while the results must not depend on the worker count.
 const SHARDS: [usize; 3] = [1, 4, 7];
 
-fn par(shards: usize) -> ParallelConfig {
-    ParallelConfig {
-        shards,
-        chunk_records: 32,
-    }
+fn pipe(shards: usize) -> Pipeline {
+    Pipeline::options().shards(shards).chunk_records(32)
 }
 
 /// A deterministic synthetic log: ~400 records with varied sizes,
@@ -65,11 +62,16 @@ fn clean_log() -> String {
 }
 
 fn salvage(text: &str, shards: usize) -> Result<Ingested, heapdrag::core::LogError> {
-    ingest_log(text, &par(shards), &IngestConfig::salvage())
+    pipe(shards)
+        .salvage(None)
+        .ingest_bytes(text)
+        .map_err(|e| e.as_log().expect("log error").clone())
 }
 
 fn strict(text: &str, shards: usize) -> Result<Ingested, heapdrag::core::LogError> {
-    ingest_log(text, &par(shards), &IngestConfig::strict())
+    pipe(shards)
+        .ingest_bytes(text)
+        .map_err(|e| e.as_log().expect("log error").clone())
 }
 
 fn total_drag(records: &[ObjectRecord]) -> u128 {
@@ -201,20 +203,14 @@ fn max_errors_bounds_salvage_under_heavy_corruption() {
         let mut text = corrupt(&clean_text, Fault::DeleteLine, rng);
         text = corrupt(&text, Fault::TruncateAtByte, rng);
         let unbounded = salvage(&text, 4).expect("unbounded salvage succeeds");
-        let bounded = ingest_log(
-            &text,
-            &par(4),
-            &IngestConfig {
-                mode: heapdrag::core::IngestMode::Salvage,
-                max_errors: Some(0),
-            },
-        );
+        let bounded = pipe(4).salvage(Some(0)).ingest_bytes(&text);
         if unbounded.salvage.is_clean() {
             // Deleting a line can excise a whole record cleanly; nothing
             // to bound in that case.
             assert!(bounded.is_ok());
         } else {
             let e = bounded.expect_err("zero budget rejects corruption");
+            let e = e.as_log().expect("log error");
             assert_eq!(e.code, heapdrag::core::ErrorCode::TooManyErrors);
         }
     });

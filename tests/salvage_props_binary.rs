@@ -24,10 +24,9 @@
 
 use std::collections::HashMap;
 
-use heapdrag::core::log::{ingest_log, IngestConfig, Ingested};
+use heapdrag::core::log::Ingested;
 use heapdrag::core::{
-    BinarySink, ErrorCode, GcSample, IngestMode, LogFormat, ObjectRecord, ParallelConfig,
-    TraceSink,
+    BinarySink, ErrorCode, GcSample, LogFormat, ObjectRecord, Pipeline, TraceSink,
 };
 use heapdrag::vm::{ChainId, ClassId, ObjectId};
 use heapdrag_testkit::{check, complete_frames, inject_binary, BinaryFault, Rng};
@@ -39,11 +38,8 @@ const SHARDS: [usize; 3] = [1, 4, 7];
 /// The `obj` frame tag of the HDLOG v2 grammar.
 const TAG_OBJ: u8 = 0x02;
 
-fn par(shards: usize) -> ParallelConfig {
-    ParallelConfig {
-        shards,
-        chunk_records: 32,
-    }
+fn pipe(shards: usize) -> Pipeline {
+    Pipeline::options().shards(shards).chunk_records(32)
 }
 
 /// A deterministic synthetic HDLOG v2 log, the frame-for-line mirror of
@@ -88,11 +84,16 @@ fn clean_log() -> Vec<u8> {
 }
 
 fn salvage(bytes: &[u8], shards: usize) -> Result<Ingested, heapdrag::core::LogError> {
-    ingest_log(bytes, &par(shards), &IngestConfig::salvage())
+    pipe(shards)
+        .salvage(None)
+        .ingest_bytes(bytes)
+        .map_err(|e| e.as_log().expect("log error").clone())
 }
 
 fn strict(bytes: &[u8], shards: usize) -> Result<Ingested, heapdrag::core::LogError> {
-    ingest_log(bytes, &par(shards), &IngestConfig::strict())
+    pipe(shards)
+        .ingest_bytes(bytes)
+        .map_err(|e| e.as_log().expect("log error").clone())
 }
 
 fn total_drag(records: &[ObjectRecord]) -> u128 {
@@ -255,15 +256,9 @@ fn max_errors_bounds_binary_salvage() {
         assert!(report.len > 0, "the clean log always has frames to flip");
         let unbounded = salvage(&bytes, 4).expect("unbounded salvage succeeds");
         assert!(!unbounded.salvage.is_clean());
-        let bounded = ingest_log(
-            &bytes,
-            &par(4),
-            &IngestConfig {
-                mode: IngestMode::Salvage,
-                max_errors: Some(0),
-            },
-        );
+        let bounded = pipe(4).salvage(Some(0)).ingest_bytes(&bytes);
         let e = bounded.expect_err("zero budget rejects corruption");
+        let e = e.as_log().expect("log error");
         assert_eq!(e.code, ErrorCode::TooManyErrors);
     });
 }

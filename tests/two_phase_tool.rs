@@ -2,10 +2,15 @@
 //! phase 2 parses it and must reach the same analysis as the in-memory
 //! path, for every benchmark.
 
-use heapdrag::core::log::{parse_log, write_log};
-use heapdrag::core::{profile, DragAnalyzer, VmConfig};
-use heapdrag::vm::SiteId;
+use heapdrag::core::{profile, DragAnalyzer, ParsedLog, Pipeline, ProfileRun, VmConfig};
+use heapdrag::vm::{Program, SiteId};
 use heapdrag::workloads::all_workloads;
+
+fn log_roundtrip(run: &ProfileRun, program: &Program) -> ParsedLog {
+    let mut buf = Vec::new();
+    Pipeline::options().write_to(run, program, &mut buf).expect("writes");
+    Pipeline::options().ingest_bytes(&buf).expect("log parses").log
+}
 
 #[test]
 fn log_roundtrip_preserves_records_and_analysis() {
@@ -14,8 +19,7 @@ fn log_roundtrip_preserves_records_and_analysis() {
         let input = (w.default_input)();
         let run = profile(&program, &input, VmConfig::profiling()).expect("runs");
 
-        let text = write_log(&run, &program);
-        let parsed = parse_log(&text).expect("log parses");
+        let parsed = log_roundtrip(&run, &program);
 
         assert_eq!(parsed.records, run.records, "{}: records roundtrip", w.name);
         assert_eq!(parsed.samples, run.samples, "{}: samples roundtrip", w.name);
@@ -40,7 +44,7 @@ fn log_names_cover_all_sites_in_records() {
     let w = heapdrag::workloads::workload_by_name("jess").unwrap();
     let program = w.original();
     let run = profile(&program, &(w.default_input)(), VmConfig::profiling()).expect("runs");
-    let parsed = parse_log(&write_log(&run, &program)).expect("parses");
+    let parsed = log_roundtrip(&run, &program);
     use heapdrag::core::ChainNamer;
     for r in &parsed.records {
         let name = parsed.chain_name(r.alloc_site);
