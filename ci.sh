@@ -22,6 +22,11 @@
 #      offsets must fail strict parsing with a stable E0xx code, succeed
 #      under --salvage, and render footers byte-identical to the
 #      committed golden (tests/golden/salvage_smoke.txt)
+#  10. a serve smoke: three traces (mixed formats) spooled through the
+#      multi-session service must produce a fleet report byte-identical
+#      to `fleet-report` over the same logs submitted in a different
+#      order, with the heapdrag_serve_* accounting reconciled in the
+#      metrics snapshot
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -136,5 +141,26 @@ for log in smoke smoke-bin; do
     done
 done
 diff -u tests/golden/salvage_smoke.txt "$tmp/salvage-footers.txt"
+
+echo "== smoke: multi-session serve =="
+# Spool three traces of mixed formats through `serve`; the fleet report
+# on stdout must be byte-identical to `fleet-report` handed the same
+# logs in a different order (the fleet merge is arrival-order-invariant),
+# and the serve accounting must reconcile in the metrics snapshot.
+mkdir -p "$tmp/spool"
+"$bin" profile examples/dragged.hdj -o "$tmp/spool/a.log"
+"$bin" profile examples/dragged.hdj -o "$tmp/spool/b.log" --log-format binary
+"$bin" profile examples/dragged.hdj -o "$tmp/spool/c.log" --interval-kb 50
+"$bin" serve --spool "$tmp/spool" --pool 2 --drivers 2 --top 5 \
+    --metrics-out "$tmp/serve.prom" \
+    > "$tmp/fleet-spool.txt" 2> "$tmp/serve-sessions.txt"
+[ "$(grep -c $'\tcompleted\t' "$tmp/serve-sessions.txt")" -eq 3 ]
+"$bin" fleet-report "$tmp/spool/c.log" "$tmp/spool/a.log" "$tmp/spool/b.log" \
+    --top 5 > "$tmp/fleet-direct.txt" 2> /dev/null
+diff -u "$tmp/fleet-spool.txt" "$tmp/fleet-direct.txt"
+grep -q '^=== fleet drag report: 3 sessions merged' "$tmp/fleet-spool.txt"
+grep -q '^heapdrag_serve_sessions_completed_total 3$' "$tmp/serve.prom"
+grep -q '^heapdrag_serve_active_sessions 0$' "$tmp/serve.prom"
+grep -q '^heapdrag_serve_inflight_chunks 0$' "$tmp/serve.prom"
 
 echo "== ok =="

@@ -1,0 +1,166 @@
+//! Serve-layer throughput for the EXPERIMENTS.md "multi-session serve"
+//! table: sessions/sec and pool utilization when N sessions share one
+//! host-sized decode pool under the fleet in-flight-chunk budget.
+//!
+//! Synthesizes one trace (text and binary variants), then pushes a batch
+//! of sessions — all carrying the same bytes — through a [`ServeManager`]
+//! at several (drivers, budget) points, measuring:
+//!
+//! * wall-clock sessions/sec for the whole batch,
+//! * aggregate record throughput,
+//! * pool utilization — busy-peak over pool size — and the fleet
+//!   in-flight-chunk peak against its budget.
+//!
+//! The fleet report of every configuration is asserted byte-identical to
+//! the first (the merge is order- and concurrency-invariant), so the
+//! table cannot compare configurations that disagree on the analysis.
+
+use std::time::{Duration, Instant};
+
+use heapdrag_core::serve::WorkerPool;
+use heapdrag_core::{
+    BinarySink, LogFormat, Pipeline, ServeConfig, ServeManager, SessionSource, SessionSpec,
+    SessionState, TextSink, TraceSink,
+};
+use heapdrag_core::record::{GcSample, ObjectRecord};
+use heapdrag_obs::Registry;
+use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
+
+const RECORDS: u64 = 40_000;
+const CHAINS: u32 = 24;
+const SESSIONS: usize = 48;
+const CHUNK_RECORDS: usize = 2048;
+const POOL: usize = 4;
+
+fn synthesize(format: LogFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let write = |sink: &mut dyn TraceSink| {
+        sink.begin().unwrap();
+        for c in 0..CHAINS {
+            sink.chain(ChainId(c), &format!("Gen.site{c}@{c}")).unwrap();
+        }
+        for i in 0..RECORDS {
+            let created = i * 13;
+            sink.record(&ObjectRecord {
+                object: ObjectId(i),
+                class: ClassId((i % 5) as u32),
+                size: 8 + (i % 31) * 16,
+                created,
+                freed: created + 400 + (i % 11) * 50,
+                last_use: (i % 5 != 0).then_some(created + 100),
+                alloc_site: ChainId((i % u64::from(CHAINS)) as u32),
+                last_use_site: (i % 5 != 0)
+                    .then_some(ChainId(((i * 3) % u64::from(CHAINS)) as u32)),
+                at_exit: i.is_multiple_of(97),
+            })
+            .unwrap();
+            if i.is_multiple_of(512) {
+                sink.sample(&GcSample {
+                    time: created,
+                    reachable_bytes: i * 9 + 4096,
+                    reachable_count: i + 1,
+                })
+                .unwrap();
+            }
+        }
+        sink.end(RECORDS * 13 + 10_000).unwrap();
+    };
+    match format {
+        LogFormat::Text => write(&mut TextSink::new(&mut buf)),
+        LogFormat::Binary => write(&mut BinarySink::new(&mut buf)),
+    }
+    buf
+}
+
+struct Run {
+    elapsed: Duration,
+    busy_peak: usize,
+    inflight_peak: i64,
+    fleet: String,
+}
+
+fn run_batch(bytes: &[u8], shards: usize, drivers: usize, budget: u64) -> Run {
+    let registry = Registry::new();
+    let mut manager = ServeManager::new(ServeConfig {
+        pool_workers: POOL,
+        drivers,
+        budget_chunks: budget,
+        max_queue: SESSIONS + 1,
+        pipeline: Pipeline::options().shards(shards).chunk_records(CHUNK_RECORDS),
+        registry: registry.clone(),
+    });
+    let start = Instant::now();
+    let ids: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            manager.submit(SessionSpec::new(
+                format!("bench-{i}"),
+                SessionSource::Bytes(bytes.to_vec()),
+            ))
+        })
+        .collect();
+    manager.wait_idle();
+    let elapsed = start.elapsed();
+    for id in ids {
+        assert_eq!(manager.state(id), Some(SessionState::Completed), "{id}");
+    }
+    let snap = registry.snapshot();
+    let inflight_peak = snap.gauges["heapdrag_serve_inflight_chunks_peak"];
+    assert!(inflight_peak <= i64::try_from(budget).unwrap());
+    let fleet = manager.fleet_report(5);
+    let busy_peak = manager.pool().busy_peak();
+    manager.shutdown();
+    Run {
+        elapsed,
+        busy_peak,
+        inflight_peak,
+        fleet,
+    }
+}
+
+fn main() {
+    let host_pool = WorkerPool::shared().workers();
+    println!("## Multi-session serve: shared-pool throughput\n");
+    println!(
+        "{SESSIONS} sessions x {RECORDS} records each, pool {POOL} workers \
+         (process-wide shared pool: {host_pool}), chunk-records {CHUNK_RECORDS}\n"
+    );
+    println!(
+        "| format | shards | drivers | budget | sessions/s | records/s | pool util (busy-peak/size) | in-flight peak/budget |"
+    );
+    println!(
+        "|--------|-------:|--------:|-------:|-----------:|----------:|---------------------------:|----------------------:|"
+    );
+
+    let mut baseline: Option<String> = None;
+    for format in [LogFormat::Text, LogFormat::Binary] {
+        let bytes = synthesize(format);
+        for (shards, drivers, budget) in [(1, 1, 8u64), (2, 4, 8), (2, 8, 16), (4, 8, 32)] {
+            let run = run_batch(&bytes, shards, drivers, budget);
+            match &baseline {
+                // Fleet reports across formats differ only via identical
+                // content — the merge sees the same records either way.
+                Some(first) => assert_eq!(
+                    &run.fleet, first,
+                    "fleet report diverged at {format}/{shards}/{drivers}/{budget}"
+                ),
+                None => baseline = Some(run.fleet.clone()),
+            }
+            let secs = run.elapsed.as_secs_f64();
+            println!(
+                "| {format} | {shards} | {drivers} | {budget} | {:.1} | {:.2} M | {}/{POOL} | {}/{budget} |",
+                SESSIONS as f64 / secs,
+                (SESSIONS as u64 * RECORDS) as f64 / secs / 1e6,
+                run.busy_peak,
+                run.inflight_peak,
+            );
+        }
+    }
+    println!(
+        "\nEach row drains the same {SESSIONS}-session batch through a fresh \
+         manager; the fleet report is asserted byte-identical across every \
+         row. `drivers` bounds concurrently *running* sessions, `budget` the \
+         fleet's in-flight decoded chunks (admission control), so the last \
+         two columns show how far each configuration actually loaded the \
+         shared pool."
+    );
+}

@@ -176,7 +176,9 @@ impl PartialStats {
 }
 
 /// All three partitions plus totals for one shard of records.
-#[derive(Debug, Default)]
+/// `Clone` lets the serve layer finalize a per-session report while
+/// retaining the accumulator for the fleet-wide merge.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ShardAccum {
     nested: HashMap<ChainId, PartialStats>,
     coarse: HashMap<SiteId, PartialStats>,
@@ -305,8 +307,9 @@ impl DragAnalyzer {
     }
 
     /// The sharded analysis: splits `records` into
-    /// [`ParallelConfig::shards`] contiguous shards, accumulates each on a
-    /// worker thread ([`std::thread::scope`]), merges the partial groups
+    /// [`ParallelConfig::shards`] contiguous shards, accumulates each as a
+    /// job on the shared [`WorkerPool`](crate::serve::WorkerPool), merges
+    /// the partial groups
     /// deterministically, and classifies the merged groups. The report is
     /// byte-identical to [`analyze`](Self::analyze) for every shard count;
     /// the returned [`ParallelMetrics`] carry per-shard record counts and
@@ -366,30 +369,34 @@ impl DragAnalyzer {
             };
             vec![(accum, m)]
         } else {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = slices
-                    .iter()
-                    .enumerate()
-                    .map(|(shard, &slice)| {
-                        s.spawn(move || {
-                            let t = Instant::now();
-                            let accum = accumulate_shard(slice, patterns, innermost);
-                            let m = ShardMetrics {
-                                shard,
-                                records: slice.len() as u64,
-                                samples: 0,
-                                groups: accum.group_count(),
-                                elapsed: t.elapsed(),
-                            };
-                            (accum, m)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("analysis shard panicked"))
-                    .collect()
-            })
+            // One borrowing job per shard on the shared pool; `scope`
+            // blocks until every slot is written.
+            let mut slots: Vec<Option<(ShardAccum, ShardMetrics)>> =
+                slices.iter().map(|_| None).collect();
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .zip(slices.iter().copied())
+                .enumerate()
+                .map(|(shard, (slot, slice))| {
+                    Box::new(move || {
+                        let t = Instant::now();
+                        let accum = accumulate_shard(slice, patterns, innermost);
+                        let m = ShardMetrics {
+                            shard,
+                            records: slice.len() as u64,
+                            samples: 0,
+                            groups: accum.group_count(),
+                            elapsed: t.elapsed(),
+                        };
+                        *slot = Some((accum, m));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            crate::serve::WorkerPool::shared().scope(jobs);
+            slots
+                .into_iter()
+                .map(|s| s.expect("analysis shard panicked"))
+                .collect()
         };
 
         let merge_start = Instant::now();

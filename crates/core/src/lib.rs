@@ -76,6 +76,7 @@ pub mod pipeline;
 pub mod profiler;
 pub mod record;
 pub mod report;
+pub mod serve;
 pub mod stream;
 pub mod timeline;
 mod u256;
@@ -96,6 +97,10 @@ pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
 pub use profiler::{profile, profile_with, DragProfiler, ProfileRun, ProfilerMetrics};
 pub use record::{GcSample, ObjectRecord};
 pub use report::{anchor_site, render, ChainNamer, ProgramNamer};
+pub use serve::{
+    ServeConfig, ServeManager, SessionId, SessionSource, SessionSpec, SessionState,
+    SessionSummary, WorkerPool,
+};
 pub use stream::StreamStats;
 pub use timeline::{Timeline, TimelinePoint};
 

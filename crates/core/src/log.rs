@@ -705,8 +705,10 @@ pub(crate) fn ingest_bytes_impl(
     };
 
     // Decode the chunks, work-stealing over chunk indices so a slow chunk
-    // cannot serialise the rest. Results land in per-chunk slots; a worker
-    // that panics loses only the chunks it claimed — the empty slots are
+    // cannot serialise the rest. The stealing loops run as borrowing jobs
+    // on the shared worker pool (one per effective shard) rather than on
+    // per-call threads. Results land in per-chunk slots; a job that
+    // panics loses only the chunk it was decoding — the empty slots are
     // degraded to per-chunk `E010` errors below rather than aborting the
     // whole process.
     let workers = par.effective_shards(chunks.len());
@@ -720,32 +722,28 @@ pub(crate) fn ingest_bytes_impl(
         let next = std::sync::atomic::AtomicUsize::new(0);
         let chunks_ref = &chunks;
         let next_ref = &next;
+        let mut worker_outs: Vec<Vec<(usize, (codec::ChunkOut, ShardMetrics))>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = worker_outs
+            .iter_mut()
+            .map(|mine| {
+                Box::new(move || loop {
+                    let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= chunks_ref.len() {
+                        return;
+                    }
+                    mine.push((i, chunks_ref[i].decode(i, salvage)));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        crate::serve::WorkerPool::shared().scope(jobs);
         let mut slots: Vec<Option<(codec::ChunkOut, ShardMetrics)>> =
             (0..chunks.len()).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i =
-                                next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= chunks_ref.len() {
-                                return mine;
-                            }
-                            mine.push((i, chunks_ref[i].decode(i, salvage)));
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Ok(mine) = h.join() {
-                    for (i, result) in mine {
-                        slots[i] = Some(result);
-                    }
-                }
+        for mine in worker_outs {
+            for (i, result) in mine {
+                slots[i] = Some(result);
             }
-        });
+        }
         slots
     };
 

@@ -22,6 +22,13 @@
 //! floating-point lifetime classifier runs only after the merge, over each
 //! group's members in original record order. The report for `shards = n`
 //! is therefore byte-identical to the sequential `shards = 1` report.
+//!
+//! `shards` sizes the *logical* parallelism only. No ingest spawns its
+//! own threads anymore: both stages submit their chunk/shard jobs to the
+//! process-wide [`serve::WorkerPool`](crate::serve::WorkerPool) (sized to
+//! the host, shared by every concurrent ingest and every serve session),
+//! so a thousand concurrent 8-shard ingests still run on one host-sized
+//! pool rather than eight thousand transient threads.
 
 use std::time::Duration;
 

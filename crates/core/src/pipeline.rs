@@ -66,6 +66,7 @@ use crate::pattern::PatternConfig;
 use crate::profiler::ProfileRun;
 use crate::record::{GcSample, ObjectRecord};
 use crate::report::ChainNamer;
+use crate::serve::WorkerPool;
 use crate::stream::{self, CollectFold, StreamFold, StreamStats};
 
 /// What a [`Pipeline`] terminal can fail with: the reader itself, or the
@@ -206,7 +207,7 @@ struct AnalyzeFold<F> {
 
 impl<F> StreamFold for AnalyzeFold<F>
 where
-    F: Fn(ChainId) -> Option<SiteId> + Send,
+    F: Fn(ChainId) -> Option<SiteId>,
 {
     fn record(&mut self, r: ObjectRecord) {
         self.records += 1;
@@ -218,6 +219,36 @@ where
     fn sample(&mut self, _s: GcSample) {
         self.samples += 1;
     }
+}
+
+/// The mergeable half of a streamed analysis: the exact-integer per-site
+/// partial aggregates plus the log-level context, before classification
+/// and sorting. This is what a serve session retains — partials of
+/// different sessions merge commutatively (the same [`ShardAccum::merge`]
+/// the shard merge uses), which is what makes the fleet report invariant
+/// under session arrival order.
+#[derive(Debug, Clone)]
+pub(crate) struct AnalyzePartials {
+    /// Per-site partial aggregates (exact integers, commutative merge).
+    pub(crate) accum: ShardAccum,
+    /// Object records folded.
+    pub(crate) records: u64,
+    /// Total bytes allocated by those records.
+    pub(crate) alloc_bytes: u64,
+    /// Records still live at exit.
+    pub(crate) at_exit: u64,
+    /// Deep-GC samples folded.
+    pub(crate) samples: u64,
+    /// What salvage kept, dropped, and repaired.
+    pub(crate) salvage: SalvageSummary,
+    /// Final allocation-clock value.
+    pub(crate) end_time: u64,
+    /// Chain-name table of this trace.
+    pub(crate) chain_names: HashMap<ChainId, String>,
+    /// Parse-stage instrumentation.
+    pub(crate) parse_metrics: ParallelMetrics,
+    /// Streaming instrumentation.
+    pub(crate) stats: StreamStats,
 }
 
 /// One builder for the whole offline pipeline: configure once, then pick
@@ -334,7 +365,13 @@ impl Pipeline {
         &self,
         reader: R,
     ) -> Result<(Ingested, StreamStats), PipelineError> {
-        let out = stream::run(reader, &self.par, &self.ingest, CollectFold::default())?;
+        let out = stream::run(
+            reader,
+            &self.par,
+            &self.ingest,
+            CollectFold::default(),
+            WorkerPool::shared(),
+        )?;
         let ingested = Ingested {
             log: ParsedLog {
                 end_time: out.end_time,
@@ -368,8 +405,8 @@ impl Pipeline {
     }
 
     /// [`analyze_reader`](Self::analyze_reader) with an explicit
-    /// innermost-site resolver (must be `Send`: the fold runs on the merge
-    /// thread).
+    /// innermost-site resolver (the fold runs on the calling thread, so
+    /// the resolver needs no thread bounds).
     ///
     /// # Errors
     ///
@@ -381,7 +418,27 @@ impl Pipeline {
     ) -> Result<StreamReport, PipelineError>
     where
         R: io::Read,
-        F: Fn(ChainId) -> Option<SiteId> + Send,
+        F: Fn(ChainId) -> Option<SiteId>,
+    {
+        let partials = self.analyze_partials_on(WorkerPool::shared(), reader, innermost)?;
+        Ok(self.finalize_partials(partials))
+    }
+
+    /// The streaming-analyze front half: fold the whole trace into
+    /// per-site partial aggregates (plus everything else the stream
+    /// produced), decoding on `pool`, without finalizing a report. The
+    /// serve layer runs one of these per session and keeps the partials:
+    /// cloned-and-finalized for the per-session report, merged across
+    /// sessions for the fleet report.
+    pub(crate) fn analyze_partials_on<R, F>(
+        &self,
+        pool: &WorkerPool,
+        reader: R,
+        innermost: F,
+    ) -> Result<AnalyzePartials, PipelineError>
+    where
+        R: io::Read,
+        F: Fn(ChainId) -> Option<SiteId>,
     {
         let fold = AnalyzeFold {
             accum: ShardAccum::default(),
@@ -392,37 +449,55 @@ impl Pipeline {
             at_exit: 0,
             samples: 0,
         };
-        let out = stream::run(reader, &self.par, &self.ingest, fold)?;
-        let finalize_start = Instant::now();
+        let out = stream::run(reader, &self.par, &self.ingest, fold, pool)?;
         let fold = out.fold;
-        let groups = fold.accum.group_count();
-        let report = self.analyzer.finalize(fold.accum);
-        let finalize_elapsed = finalize_start.elapsed();
-        let analyze_metrics = ParallelMetrics {
-            shards: vec![ShardMetrics {
-                shard: 0,
-                records: fold.records,
-                samples: fold.samples,
-                groups,
-                elapsed: out.metrics.total_elapsed,
-            }],
-            split_elapsed: Duration::ZERO,
-            merge_elapsed: finalize_elapsed,
-            total_elapsed: out.metrics.total_elapsed + finalize_elapsed,
-        };
-        Ok(StreamReport {
-            report,
-            salvage: out.salvage,
-            end_time: out.end_time,
-            chain_names: out.chain_names,
+        Ok(AnalyzePartials {
+            accum: fold.accum,
             records: fold.records,
             alloc_bytes: fold.alloc_bytes,
             at_exit: fold.at_exit,
             samples: fold.samples,
+            salvage: out.salvage,
+            end_time: out.end_time,
+            chain_names: out.chain_names,
             parse_metrics: out.metrics,
-            analyze_metrics,
             stats: out.stats,
         })
+    }
+
+    /// The streaming-analyze back half: classify, sort, and package the
+    /// partial aggregates into a [`StreamReport`]. `finalize_partials ∘
+    /// analyze_partials_on` is exactly `analyze_reader_with`.
+    pub(crate) fn finalize_partials(&self, partials: AnalyzePartials) -> StreamReport {
+        let finalize_start = Instant::now();
+        let groups = partials.accum.group_count();
+        let report = self.analyzer.finalize(partials.accum);
+        let finalize_elapsed = finalize_start.elapsed();
+        let analyze_metrics = ParallelMetrics {
+            shards: vec![ShardMetrics {
+                shard: 0,
+                records: partials.records,
+                samples: partials.samples,
+                groups,
+                elapsed: partials.parse_metrics.total_elapsed,
+            }],
+            split_elapsed: Duration::ZERO,
+            merge_elapsed: finalize_elapsed,
+            total_elapsed: partials.parse_metrics.total_elapsed + finalize_elapsed,
+        };
+        StreamReport {
+            report,
+            salvage: partials.salvage,
+            end_time: partials.end_time,
+            chain_names: partials.chain_names,
+            records: partials.records,
+            alloc_bytes: partials.alloc_bytes,
+            at_exit: partials.at_exit,
+            samples: partials.samples,
+            parse_metrics: partials.parse_metrics,
+            analyze_metrics,
+            stats: partials.stats,
+        }
     }
 
     /// Analyzes an already-materialised record slice with the builder's

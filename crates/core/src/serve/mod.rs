@@ -1,0 +1,50 @@
+//! The multi-session drag service: one analyzer process serving a fleet
+//! of instrumented VMs.
+//!
+//! The paper's offline analysis assumes one trace per tool invocation.
+//! This module turns the bounded-memory [`Pipeline`](crate::Pipeline)
+//! into a long-running service: a [`ServeManager`] owns a registry of
+//! *sessions* (one trace stream each, with its own pipeline config and
+//! lifecycle state), a fixed set of *driver* threads that coordinate one
+//! session apiece, and the shared decode [`WorkerPool`] every session's
+//! chunks run on. Traces arrive from a spool directory
+//! ([`submit_spool`]) or a unix socket listener ([`serve_socket`]); the
+//! `heapdrag serve` / `submit` / `sessions` / `fleet-report` CLI
+//! subcommands drive it.
+//!
+//! Three properties carry over from the single-shot pipeline, by
+//! construction:
+//!
+//! * **Per-session byte-identity.** A session is exactly one
+//!   [`Pipeline::analyze_reader`](crate::Pipeline::analyze_reader) run
+//!   (same scanner, same merge order, same finalize), so its report is
+//!   byte-identical to a single-shot run on the same bytes — for any
+//!   pool size and any interleaving with other sessions.
+//! * **Bounded transit memory, fleet-wide.** Each session's streaming
+//!   engine caps its in-flight chunks; admission control charges every
+//!   session that cap up front against a fleet-wide budget and queues
+//!   (or rejects) sessions that would exceed it, so the sum of all
+//!   sessions' transit buffers never exceeds the budget.
+//! * **Deterministic fleet aggregation.** Completed sessions retain
+//!   their exact-integer per-site partial aggregates; the fleet report
+//!   merges them with the same commutative fold the shard merge uses,
+//!   so the aggregate is invariant under session arrival order.
+//!
+//! Metrics publish as the `heapdrag_serve_*` family through the
+//! existing [`Registry`](heapdrag_obs::Registry); see DESIGN.md §12 for
+//! the lifecycle state machine and the admission-control invariant.
+
+pub mod pool;
+mod session;
+#[cfg(unix)]
+mod socket;
+mod spool;
+
+pub use pool::WorkerPool;
+pub use session::{
+    session_cost, ServeConfig, ServeManager, SessionId, SessionSource, SessionSpec, SessionState,
+    SessionSummary,
+};
+#[cfg(unix)]
+pub use socket::{client_command, client_submit, serve_socket};
+pub use spool::submit_spool;

@@ -1,0 +1,40 @@
+//! The spool-directory front end: submit every trace file in a
+//! directory as a session.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::serve::{ServeManager, SessionId, SessionSource, SessionSpec};
+
+/// Submits every regular file in `dir` (non-recursively) to `manager`,
+/// one session per file, named by file name. Files are submitted in
+/// sorted-path order so repeated runs enumerate identically — though the
+/// fleet report does not depend on it (the merge is order-invariant).
+///
+/// Returns the submitted ids in submission order; some may already be
+/// `Rejected` if admission control refused them.
+///
+/// # Errors
+///
+/// Propagates directory-enumeration I/O errors. Per-file open errors
+/// surface later, as `Failed` sessions, not here.
+pub fn submit_spool(manager: &ServeManager, dir: &Path) -> io::Result<Vec<SessionId>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            paths.push(entry.path());
+        }
+    }
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            manager.submit(SessionSpec::new(name, SessionSource::Path(p)))
+        })
+        .collect())
+}

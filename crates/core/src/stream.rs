@@ -9,30 +9,32 @@
 //!    incremental scanner that cuts the stream at line/frame boundaries —
 //!    the same boundaries, the same error taxonomy, and the same chunking
 //!    as the in-memory scan — emitting self-contained owned chunks.
-//! 2. Chunks flow through a **bounded channel** to the same per-chunk
-//!    decoders the in-memory path uses. A semaphore-style gate at the
-//!    source caps chunks in flight (sent but not yet merged), so a slow
-//!    consumer exerts backpressure on the reader instead of growing a
-//!    queue. Stalls and the high-water mark of buffered bytes are
+//! 2. Each chunk is submitted as an independent decode job to the shared
+//!    [`WorkerPool`] — the same per-chunk
+//!    decoders the in-memory path uses, but on threads that outlive the
+//!    call and are shared by every concurrent ingest in the process. The
+//!    coordinator caps chunks in flight (dispatched but not yet merged)
+//!    at `2 × shards`, blocking on results when the budget is full, so a
+//!    slow consumer exerts backpressure on the reader instead of growing
+//!    a queue. Stalls and the high-water mark of buffered bytes are
 //!    reported in [`StreamStats`].
-//! 3. A **merger** thread consumes decode results strictly in chunk-index
-//!    order (reordering out-of-order completions in a window the gate
-//!    keeps bounded) and folds records into the caller's fold — either a
-//!    record collector (streaming ingest) or the analyzer's partial
-//!    aggregates (streaming analyze, which never materialises the record
-//!    vector at all).
+//! 3. The coordinator **merges** decode results strictly in chunk-index
+//!    order (reordering out-of-order completions in a window the
+//!    in-flight cap keeps bounded) and folds records into the caller's
+//!    fold — either a record collector (streaming ingest) or the
+//!    analyzer's partial aggregates (streaming analyze, which never
+//!    materialises the record vector at all).
 //!
 //! Because chunk boundaries are input-determined, the merge runs in input
 //! order, and salvage's duplicate collapse happens at that ordered merge,
 //! the result is byte-identical to the in-memory engine for every shard
-//! count, both formats, strict and salvage — `tests/streaming_parity.rs`
-//! holds the two paths against each other.
+//! count, pool size, both formats, strict and salvage —
+//! `tests/streaming_parity.rs` holds the two paths against each other.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Read;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::mpsc;
 use std::time::Instant;
 
 use heapdrag_vm::ids::{ChainId, ObjectId};
@@ -42,9 +44,12 @@ use crate::log::{ErrorCode, IngestConfig, LogError, SalvageSummary, FIRST_ERRORS
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::pipeline::PipelineError;
 use crate::record::{GcSample, ObjectRecord};
+use crate::serve::WorkerPool;
 
-/// How many bytes the coordinator reads per `read()` call.
-const READ_BLOCK: usize = 256 * 1024;
+/// How many bytes the coordinator reads per `read()` call — also the
+/// slack term of the memory bound, since the scanner may carry up to one
+/// block (plus one incomplete unit) between chunk cuts.
+pub const READ_BLOCK: usize = 256 * 1024;
 
 /// Instrumentation of one streaming ingest: how hard the bounded-memory
 /// machinery worked. Published as `heapdrag_ingest_*` metrics by
@@ -89,10 +94,20 @@ impl StreamStats {
     }
 }
 
-/// Where the merger folds kept records and samples, in input order.
+/// The in-flight-chunk budget of one streaming ingest at `shards` decode
+/// shards: how many chunks may be dispatched-but-unmerged at once. This
+/// is both the streaming memory bound (peak transit bytes ≈ this many
+/// chunks) and the admission-control currency of the serve layer, which
+/// charges each session exactly this many budget units.
+pub(crate) fn flight_cap(shards: usize) -> usize {
+    (2 * shards.max(1)).max(2)
+}
+
+/// Where the merge folds kept records and samples, in input order.
 /// Implemented by the record collector (streaming ingest) and the
-/// analyzer fold (streaming analyze).
-pub(crate) trait StreamFold: Send {
+/// analyzer fold (streaming analyze). The fold runs on the coordinating
+/// thread (the caller of [`run`]), never on pool workers.
+pub(crate) trait StreamFold {
     /// Folds one kept object record (salvage duplicates never arrive).
     fn record(&mut self, r: ObjectRecord);
     /// Folds one kept deep-GC sample.
@@ -116,18 +131,8 @@ pub(crate) struct StreamedLog<F> {
     pub(crate) stats: StreamStats,
 }
 
-/// One unit of work for a decode worker, plus the envelope the merger
-/// needs even if the decode panics.
-struct WorkItem {
-    index: usize,
-    units: usize,
-    first: (usize, u64),
-    bytes: u64,
-    chunk: OwnedChunk,
-}
-
-/// A decode result; `out` is `None` when the worker panicked on this
-/// chunk (degraded to a per-chunk `E010` by the merger, exactly like the
+/// A decode result; `out` is `None` when the decode job panicked on this
+/// chunk (degraded to a per-chunk `E010` by the merge, exactly like the
 /// in-memory engine's lost slots).
 struct WorkDone {
     index: usize,
@@ -137,100 +142,7 @@ struct WorkDone {
     out: Option<(ChunkOut, ShardMetrics)>,
 }
 
-/// A counting gate bounding chunks in flight. Acquired by the reader
-/// before each send, released by the merger after each fold — so it also
-/// bounds the merger's reorder window, which is what makes the memory
-/// bound airtight (a channel-capacity bound alone would not cover
-/// out-of-order completions parked in the window).
-struct Gate {
-    inner: Mutex<usize>,
-    cond: Condvar,
-    cap: usize,
-}
-
-impl Gate {
-    fn new(cap: usize) -> Self {
-        Gate {
-            inner: Mutex::new(0),
-            cond: Condvar::new(),
-            cap,
-        }
-    }
-
-    /// Waits for a slot; true when it had to wait (a backpressure stall).
-    fn acquire(&self) -> bool {
-        let mut n = self.inner.lock().expect("gate poisoned");
-        let stalled = *n >= self.cap;
-        while *n >= self.cap {
-            n = self.cond.wait(n).expect("gate poisoned");
-        }
-        *n += 1;
-        stalled
-    }
-
-    fn release(&self) {
-        let mut n = self.inner.lock().expect("gate poisoned");
-        *n -= 1;
-        drop(n);
-        self.cond.notify_one();
-    }
-}
-
-/// The codec-dispatching wrapper over the two incremental scanners.
-enum Scanner {
-    Text(codec::text::StreamScanner),
-    Binary(codec::binary::StreamScanner),
-}
-
-impl Scanner {
-    fn new(format: LogFormat, salvage: bool, chunk_records: usize) -> Self {
-        match format {
-            LogFormat::Text => {
-                Scanner::Text(codec::text::StreamScanner::new(salvage, chunk_records))
-            }
-            LogFormat::Binary => {
-                Scanner::Binary(codec::binary::StreamScanner::new(salvage, chunk_records))
-            }
-        }
-    }
-
-    fn feed(&mut self, data: &[u8], out: &mut Vec<OwnedChunk>) {
-        match self {
-            Scanner::Text(s) => s.feed(data, out),
-            Scanner::Binary(s) => s.feed(data, out),
-        }
-    }
-
-    fn finish(&mut self, out: &mut Vec<OwnedChunk>) {
-        match self {
-            Scanner::Text(s) => s.finish(out),
-            Scanner::Binary(s) => s.finish(out),
-        }
-    }
-
-    fn buffered_bytes(&self) -> u64 {
-        match self {
-            Scanner::Text(s) => s.buffered_bytes(),
-            Scanner::Binary(s) => s.buffered_bytes(),
-        }
-    }
-
-    fn aborted(&self) -> bool {
-        match self {
-            Scanner::Text(s) => s.state.aborted,
-            Scanner::Binary(s) => s.state.aborted,
-        }
-    }
-
-    fn into_state(self) -> StreamScanState {
-        match self {
-            Scanner::Text(s) => s.state,
-            Scanner::Binary(s) => s.state,
-        }
-    }
-}
-
-/// The merger's running state: chunk-order error collection, salvage
+/// The merge's running state: chunk-order error collection, salvage
 /// accounting, duplicate collapse (in input order, hence shard-invariant),
 /// and the fold itself.
 struct Merger<F> {
@@ -319,6 +231,177 @@ impl<F: StreamFold> Merger<F> {
     }
 }
 
+/// The codec-dispatching wrapper over the two incremental scanners.
+enum Scanner {
+    Text(codec::text::StreamScanner),
+    Binary(codec::binary::StreamScanner),
+}
+
+impl Scanner {
+    fn new(format: LogFormat, salvage: bool, chunk_records: usize) -> Self {
+        match format {
+            LogFormat::Text => {
+                Scanner::Text(codec::text::StreamScanner::new(salvage, chunk_records))
+            }
+            LogFormat::Binary => {
+                Scanner::Binary(codec::binary::StreamScanner::new(salvage, chunk_records))
+            }
+        }
+    }
+
+    fn feed(&mut self, data: &[u8], out: &mut Vec<OwnedChunk>) {
+        match self {
+            Scanner::Text(s) => s.feed(data, out),
+            Scanner::Binary(s) => s.feed(data, out),
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<OwnedChunk>) {
+        match self {
+            Scanner::Text(s) => s.finish(out),
+            Scanner::Binary(s) => s.finish(out),
+        }
+    }
+
+    fn buffered_bytes(&self) -> u64 {
+        match self {
+            Scanner::Text(s) => s.buffered_bytes(),
+            Scanner::Binary(s) => s.buffered_bytes(),
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        match self {
+            Scanner::Text(s) => s.state.aborted,
+            Scanner::Binary(s) => s.state.aborted,
+        }
+    }
+
+    fn into_state(self) -> StreamScanState {
+        match self {
+            Scanner::Text(s) => s.state,
+            Scanner::Binary(s) => s.state,
+        }
+    }
+}
+
+/// The coordinator's dispatch-and-merge state: chunks go out to the pool,
+/// results come back over a channel and are merged in index order. The
+/// in-flight count (dispatched − merged) is capped, which bounds both the
+/// transit bytes and the reorder window — the role the old per-run gate
+/// played, now without any dedicated threads.
+struct Engine<'p, F> {
+    merger: Merger<F>,
+    pool: &'p WorkerPool,
+    done_tx: mpsc::Sender<WorkDone>,
+    done_rx: mpsc::Receiver<WorkDone>,
+    /// Out-of-order completions parked until their index is next.
+    window: BTreeMap<usize, WorkDone>,
+    /// Next chunk index to dispatch.
+    index: usize,
+    /// Next chunk index to merge.
+    next: usize,
+    in_flight: usize,
+    in_flight_bytes: u64,
+    cap: usize,
+    salvage: bool,
+    stats: StreamStats,
+}
+
+impl<F: StreamFold> Engine<'_, F> {
+    fn new(pool: &WorkerPool, cap: usize, fold: F, salvage: bool) -> Engine<'_, F> {
+        let (done_tx, done_rx) = mpsc::channel();
+        Engine {
+            merger: Merger::new(fold, salvage),
+            pool,
+            done_tx,
+            done_rx,
+            window: BTreeMap::new(),
+            index: 0,
+            next: 0,
+            in_flight: 0,
+            in_flight_bytes: 0,
+            cap,
+            salvage,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Accounts one completed decode and merges every now-contiguous
+    /// result. Each merged chunk releases its in-flight slot — release
+    /// happens at merge, not at decode completion, so the cap also bounds
+    /// the reorder window and the memory bound stays airtight.
+    fn accept(&mut self, done: WorkDone) {
+        self.window.insert(done.index, done);
+        while let Some(d) = self.window.remove(&self.next) {
+            self.in_flight -= 1;
+            self.in_flight_bytes -= d.bytes;
+            self.merger.consume(d);
+            self.next += 1;
+        }
+    }
+
+    fn note_peak(&mut self, scanner_buffered: u64) {
+        let current = self.in_flight_bytes + scanner_buffered;
+        self.stats.peak_buffered_bytes = self.stats.peak_buffered_bytes.max(current);
+    }
+
+    /// Submits every pending chunk to the pool, blocking on completed
+    /// results whenever the in-flight budget is full.
+    fn dispatch(&mut self, pending: &mut Vec<OwnedChunk>, scanner_buffered: u64) {
+        for chunk in pending.drain(..) {
+            let bytes = chunk.byte_len();
+            self.stats.max_chunk_bytes = self.stats.max_chunk_bytes.max(bytes);
+            self.stats.chunks += 1;
+            if self.in_flight >= self.cap {
+                self.stats.backpressure_stalls += 1;
+                while self.in_flight >= self.cap {
+                    let done = self.recv();
+                    self.accept(done);
+                }
+            }
+            self.in_flight += 1;
+            self.in_flight_bytes += bytes;
+            self.note_peak(scanner_buffered);
+            let index = self.index;
+            self.index += 1;
+            let units = chunk.len();
+            let first = chunk.first_position();
+            let salvage = self.salvage;
+            let tx = self.done_tx.clone();
+            self.pool.execute(Box::new(move || {
+                let out =
+                    catch_unwind(AssertUnwindSafe(|| chunk.decode(index, salvage))).ok();
+                let _ = tx.send(WorkDone {
+                    index,
+                    units,
+                    first,
+                    bytes,
+                    out,
+                });
+            }));
+        }
+    }
+
+    /// Blocks until every dispatched chunk has been merged.
+    fn drain(&mut self) {
+        while self.in_flight > 0 {
+            let done = self.recv();
+            self.accept(done);
+        }
+    }
+
+    fn recv(&self) -> WorkDone {
+        // Every dispatched job sends exactly one result, even when the
+        // decode panics (the send is outside the catch) and even when the
+        // pool is shut down mid-run (post-shutdown submissions run inline
+        // on this thread) — so this cannot block forever.
+        self.done_rx
+            .recv()
+            .expect("decode job vanished without a result")
+    }
+}
+
 /// Reads one block, retrying on `Interrupted`; 0 means end-of-input.
 fn read_block<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, PipelineError> {
     loop {
@@ -330,59 +413,21 @@ fn read_block<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<usize, Pipeline
     }
 }
 
-/// Sends every pending chunk through the gate and the work channel,
-/// updating the buffered-bytes accounting.
-fn dispatch(
-    pending: &mut Vec<OwnedChunk>,
-    index: &mut usize,
-    scanner_buffered: u64,
-    gate: &Gate,
-    flight: &AtomicU64,
-    work_tx: &mpsc::SyncSender<WorkItem>,
-    stats: &mut StreamStats,
-) {
-    for chunk in pending.drain(..) {
-        let bytes = chunk.byte_len();
-        stats.max_chunk_bytes = stats.max_chunk_bytes.max(bytes);
-        stats.chunks += 1;
-        if gate.acquire() {
-            stats.backpressure_stalls += 1;
-        }
-        flight.fetch_add(bytes, Ordering::Relaxed);
-        let current = flight.load(Ordering::Relaxed) + scanner_buffered;
-        stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(current);
-        let item = WorkItem {
-            index: *index,
-            units: chunk.len(),
-            first: chunk.first_position(),
-            bytes,
-            chunk,
-        };
-        *index += 1;
-        if work_tx.send(item).is_err() {
-            // Every worker is gone; nothing downstream will release the
-            // slot we just took.
-            gate.release();
-            return;
-        }
-    }
-}
-
 /// The streaming engine: reads `reader` once in bounded blocks, decodes
-/// chunks on `par.shards` workers, and folds kept records/samples into
-/// `fold` in input order. Semantics (errors, salvage summary, kept set,
-/// end-time synthesis) are identical to [`crate::ingest_log`] on the same
-/// bytes.
+/// chunks as jobs on `pool`, and folds kept records/samples into `fold`
+/// in input order on the calling thread. Semantics (errors, salvage
+/// summary, kept set, end-time synthesis) are identical to
+/// [`crate::ingest_log`] on the same bytes, for any pool size.
 pub(crate) fn run<R: Read, F: StreamFold>(
     mut reader: R,
     par: &ParallelConfig,
     ingest: &IngestConfig,
     fold: F,
+    pool: &WorkerPool,
 ) -> Result<StreamedLog<F>, PipelineError> {
     let start = Instant::now();
     let salvage = ingest.is_salvage();
     let chunk_records = par.effective_chunk();
-    let workers = par.shards.max(1);
 
     // Prime the stream far enough to detect the format by magic bytes.
     let mut block = vec![0u8; READ_BLOCK];
@@ -402,76 +447,21 @@ pub(crate) fn run<R: Read, F: StreamFold>(
     let format = LogFormat::detect(&head);
     let mut scanner = Scanner::new(format, salvage, chunk_records);
 
-    let mut stats = StreamStats::default();
     let mut bytes_read = head.len() as u64;
-    let gate = Gate::new((2 * workers).max(2));
-    let flight = AtomicU64::new(0);
-    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(gate.cap);
-    let work_rx = Mutex::new(work_rx);
-    let (done_tx, done_rx) = mpsc::channel::<WorkDone>();
+    let mut engine = Engine::new(pool, flight_cap(par.shards), fold, salvage);
 
+    // The coordinator loop: read, scan, dispatch, merge what's ready,
+    // repeat. A strict-mode scan abort stops the reading early; chunks
+    // already cut are still decoded so the smallest line number wins
+    // below.
     let split_start = Instant::now();
-    let mut read_elapsed = split_start.elapsed();
-    let (merger, io_result) = std::thread::scope(|s| {
-        for _ in 0..workers {
-            let work_rx = &work_rx;
-            let done_tx = done_tx.clone();
-            s.spawn(move || loop {
-                let item = {
-                    let rx = work_rx.lock().expect("work queue poisoned");
-                    rx.recv()
-                };
-                let Ok(item) = item else { return };
-                let out = catch_unwind(AssertUnwindSafe(|| item.chunk.decode(item.index, salvage)))
-                    .ok();
-                let done = WorkDone {
-                    index: item.index,
-                    units: item.units,
-                    first: item.first,
-                    bytes: item.bytes,
-                    out,
-                };
-                if done_tx.send(done).is_err() {
-                    return;
-                }
-            });
-        }
-        drop(done_tx);
-
-        let gate_ref = &gate;
-        let flight_ref = &flight;
-        let merger_handle = s.spawn(move || {
-            let mut merger = Merger::new(fold, salvage);
-            let mut window: BTreeMap<usize, WorkDone> = BTreeMap::new();
-            let mut next = 0usize;
-            while let Ok(done) = done_rx.recv() {
-                window.insert(done.index, done);
-                while let Some(d) = window.remove(&next) {
-                    flight_ref.fetch_sub(d.bytes, Ordering::Relaxed);
-                    merger.consume(d);
-                    gate_ref.release();
-                    next += 1;
-                }
-            }
-            merger
-        });
-
-        // The coordinator: read, scan, dispatch, repeat. A strict-mode
-        // scan abort stops the reading early; chunks already cut are
-        // still decoded so the smallest line number wins below.
+    let io_result = {
+        let engine = &mut engine;
+        let scanner = &mut scanner;
         let mut coordinate = || -> Result<(), PipelineError> {
             let mut pending: Vec<OwnedChunk> = Vec::new();
-            let mut index = 0usize;
             scanner.feed(&head, &mut pending);
-            dispatch(
-                &mut pending,
-                &mut index,
-                scanner.buffered_bytes(),
-                &gate,
-                &flight,
-                &work_tx,
-                &mut stats,
-            );
+            engine.dispatch(&mut pending, scanner.buffered_bytes());
             while !scanner.aborted() {
                 let n = read_block(&mut reader, &mut block)?;
                 if n == 0 {
@@ -479,38 +469,25 @@ pub(crate) fn run<R: Read, F: StreamFold>(
                 }
                 bytes_read += n as u64;
                 scanner.feed(&block[..n], &mut pending);
-                dispatch(
-                    &mut pending,
-                    &mut index,
-                    scanner.buffered_bytes(),
-                    &gate,
-                    &flight,
-                    &work_tx,
-                    &mut stats,
-                );
-                let current = flight.load(Ordering::Relaxed) + scanner.buffered_bytes();
-                stats.peak_buffered_bytes = stats.peak_buffered_bytes.max(current);
+                engine.dispatch(&mut pending, scanner.buffered_bytes());
+                engine.note_peak(scanner.buffered_bytes());
             }
             scanner.finish(&mut pending);
-            dispatch(
-                &mut pending,
-                &mut index,
-                scanner.buffered_bytes(),
-                &gate,
-                &flight,
-                &work_tx,
-                &mut stats,
-            );
+            engine.dispatch(&mut pending, scanner.buffered_bytes());
             Ok(())
         };
-        let io_result = coordinate();
-        read_elapsed = split_start.elapsed();
-        drop(work_tx);
-        let merger = merger_handle.join().expect("merger thread panicked");
-        (merger, io_result)
-    });
+        coordinate()
+    };
+    let read_elapsed = split_start.elapsed();
+    // Merge every outstanding chunk even on a read error — decode jobs
+    // own their data and will send regardless; leaving them unmerged
+    // would leak nothing but would leave results racing a dropped
+    // receiver for no benefit.
+    engine.drain();
     io_result?;
+    let mut stats = engine.stats;
     stats.bytes_read = bytes_read;
+    let merger = engine.merger;
 
     // Final assembly — a line-for-line mirror of the in-memory engine's
     // merge, so the two paths cannot drift.
@@ -720,7 +697,8 @@ mod tests {
                         pos: 0,
                         max: max_read,
                     };
-                    let streamed = run(reader, &par, &ingest, CollectFold::default());
+                    let streamed =
+                        run(reader, &par, &ingest, CollectFold::default(), WorkerPool::shared());
                     let ctx = format!(
                         "shards={shards} chunk_records={chunk_records} max_read={max_read}"
                     );
@@ -805,6 +783,7 @@ mod tests {
             &ParallelConfig::default(),
             &IngestConfig::strict(),
             CollectFold::default(),
+            WorkerPool::shared(),
         )
         .err()
         .expect("empty input must fail");
@@ -836,6 +815,7 @@ mod tests {
             &ParallelConfig::default(),
             &IngestConfig::salvage(),
             CollectFold::default(),
+            WorkerPool::shared(),
         )
         .err()
         .expect("io error must surface");
@@ -846,9 +826,79 @@ mod tests {
     }
 
     #[test]
+    fn merge_degrades_a_lost_chunk_to_e010() {
+        // The envelope of a chunk whose decode panicked arrives with
+        // `out: None`; the merge must degrade it to a per-chunk E010 and
+        // keep going — the exact path a pool-worker panic takes.
+        let mut merger = Merger::new(CollectFold::default(), true);
+        merger.consume(WorkDone {
+            index: 0,
+            units: 5,
+            first: (3, 120),
+            bytes: 400,
+            out: None,
+        });
+        assert_eq!(merger.errors.len(), 1);
+        assert_eq!(merger.errors[0].code, ErrorCode::WorkerLost);
+        assert_eq!(merger.errors[0].line, 3);
+        assert_eq!(merger.errors[0].chunk, Some(0));
+        assert_eq!(merger.units_dropped, 5);
+        assert_eq!(merger.bytes_skipped, 400);
+        // Subsequent chunks still merge normally.
+        let (records, samples) = sample_records(4);
+        merger.consume(WorkDone {
+            index: 1,
+            units: 4,
+            first: (8, 520),
+            bytes: 300,
+            out: Some((
+                ChunkOut {
+                    records,
+                    samples,
+                    errors: Vec::new(),
+                    units_dropped: 0,
+                    bytes_skipped: 0,
+                },
+                ShardMetrics::default(),
+            )),
+        });
+        assert_eq!(merger.records_kept, 4);
+        assert_eq!(merger.errors.len(), 1, "the lost chunk stays one error");
+    }
+
+    #[test]
+    fn pool_size_does_not_change_the_result() {
+        // The same trace through pools of 1, 2, and 5 workers must yield
+        // identical folds — ordering comes from the merge window, not
+        // from worker count.
+        let (records, samples) = sample_records(80);
+        let bytes = encode(LogFormat::Text, &records, &samples, true);
+        let par = ParallelConfig {
+            shards: 4,
+            chunk_records: 8,
+        };
+        let mut outputs = Vec::new();
+        for workers in [1usize, 2, 5] {
+            let pool = WorkerPool::new(workers);
+            let out = run(
+                std::io::Cursor::new(&bytes),
+                &par,
+                &IngestConfig::salvage(),
+                CollectFold::default(),
+                &pool,
+            )
+            .expect("clean log");
+            outputs.push((out.fold.records, out.fold.samples, out.end_time));
+            pool.shutdown();
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
     fn backpressure_bounds_buffered_bytes() {
-        // A slow fold forces the gate to fill; the peak must stay within
-        // the gate budget plus one unit of scanner carry.
+        // A slow fold forces the in-flight budget to fill; the peak must
+        // stay within the budget plus one unit of scanner carry.
         struct SlowFold(CollectFold);
         impl StreamFold for SlowFold {
             fn record(&mut self, r: ObjectRecord) {
@@ -870,6 +920,7 @@ mod tests {
             &par,
             &IngestConfig::strict(),
             SlowFold(CollectFold::default()),
+            WorkerPool::shared(),
         )
         .expect("clean log");
         assert_eq!(out.fold.0.records.len(), records.len());

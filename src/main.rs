@@ -21,6 +21,15 @@
 //! work. Pass `-` as the log path to read the trace from stdin:
 //! `heapdrag profile p.hdasm -o /dev/stdout | heapdrag report -`.
 //!
+//! `serve` runs the long-lived multi-session drag service: every trace in
+//! a `--spool` directory (and/or every `SUBMIT` on a `--socket` unix
+//! listener) becomes a session sharing one decode worker pool under a
+//! fleet-wide in-flight-chunk budget. Per-session summaries go to stderr;
+//! the deterministic fleet-aggregate report goes to stdout. `submit`,
+//! `sessions`, and `fleet-report --socket` are the matching clients;
+//! `fleet-report <log>...` with no socket merges the logs offline through
+//! an in-process service.
+//!
 //! `--shards N` runs the off-line phase (log decoding and per-site
 //! aggregation) on N worker threads; the report is byte-identical to the
 //! sequential one. `--verbose-metrics` prints per-shard timings to stderr,
@@ -36,11 +45,14 @@
 //! footer (which names the detected input format) to the report;
 //! `--max-errors N` bounds how much corruption salvage will tolerate.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use heapdrag::core::log::{IngestConfig, IngestMode, SalvageSummary};
+use heapdrag::core::serve::submit_spool;
 use heapdrag::core::{
-    profile_with, render, LogFormat, ParallelConfig, Pipeline, StreamReport, Timeline, VmConfig,
+    profile_with, render, LogFormat, ParallelConfig, Pipeline, ServeConfig, ServeManager,
+    SessionSource, SessionSpec, SessionState, SessionSummary, StreamReport, Timeline, VmConfig,
 };
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
@@ -58,6 +70,12 @@ const USAGE: &str = "usage:
   heapdrag inspect  <log file | -> <rank> [--shards N]   (lifetime histograms of the rank-th site)
   heapdrag timeline <prog> [input ints...]
   heapdrag optimize <prog> -o <out.hdasm> [input ints...]
+  heapdrag serve    [--spool <dir>] [--socket <path>] [--pool N] [--drivers N]
+                    [--budget-chunks N] [--top N] (+ log ingestion flags)
+  heapdrag submit   <socket> <log file | -> [--name NAME] [--shards N]
+                    [--chunk-records N] [--salvage]
+  heapdrag sessions <socket>
+  heapdrag fleet-report <log file>... | --socket <path>  [--top N]
 
 common flags:
   --metrics-out <path>   write a metrics snapshot on exit (JSON; Prometheus
@@ -76,6 +94,18 @@ log ingestion flags (report / analyze / inspect):
   --max-errors <N>       with --salvage: fail with E008 when more than N
                          errors accumulate
 
+serve flags:
+  --spool <dir>          submit every file in <dir> as a session, then (if
+                         no --socket) drain and print the fleet report
+  --socket <path>        accept SUBMIT/SESSIONS/FLEET/CANCEL/PING/SHUTDOWN
+                         on a unix socket until SHUTDOWN arrives
+  --pool <N>             decode worker threads shared by all sessions
+  --drivers <N>          maximum concurrently *running* sessions
+  --budget-chunks <N>    fleet-wide in-flight-chunk budget (admission
+                         control); each session charges 2*max(shards,1)
+  --shards/--chunk-records/--salvage/--max-errors set the default
+  per-session pipeline; SUBMIT may override shards/chunk/mode per session
+
 <prog> is either bytecode assembly (.hdasm) or mini-Java source (.hdj).";
 
 struct Args {
@@ -89,6 +119,12 @@ struct Args {
     log_format: LogFormat,
     metrics_out: Option<String>,
     verbose_metrics: bool,
+    spool: Option<String>,
+    socket: Option<String>,
+    name: Option<String>,
+    pool: Option<usize>,
+    drivers: Option<usize>,
+    budget_chunks: Option<u64>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -103,6 +139,12 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         log_format: LogFormat::default(),
         metrics_out: None,
         verbose_metrics: false,
+        spool: None,
+        socket: None,
+        name: None,
+        pool: None,
+        drivers: None,
+        budget_chunks: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -146,6 +188,27 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--max-errors needs a number")?;
                 args.ingest.max_errors = Some(v.parse().map_err(|_| "bad --max-errors")?);
             }
+            "--spool" => {
+                args.spool = Some(it.next().ok_or("--spool needs a directory")?.clone());
+            }
+            "--socket" => {
+                args.socket = Some(it.next().ok_or("--socket needs a path")?.clone());
+            }
+            "--name" => {
+                args.name = Some(it.next().ok_or("--name needs a name")?.clone());
+            }
+            "--pool" => {
+                let v = it.next().ok_or("--pool needs a number")?;
+                args.pool = Some(v.parse().map_err(|_| "bad --pool")?);
+            }
+            "--drivers" => {
+                let v = it.next().ok_or("--drivers needs a number")?;
+                args.drivers = Some(v.parse().map_err(|_| "bad --drivers")?);
+            }
+            "--budget-chunks" => {
+                let v = it.next().ok_or("--budget-chunks needs a number")?;
+                args.budget_chunks = Some(v.parse().map_err(|_| "bad --budget-chunks")?);
+            }
             other => args.positional.push(other.to_string()),
         }
     }
@@ -168,6 +231,78 @@ fn pipeline_for(parallel: &ParallelConfig, ingest: &IngestConfig) -> Pipeline {
         pipe = pipe.salvage(ingest.max_errors);
     }
     pipe
+}
+
+/// Builds the [`ServeConfig`] for `serve` and offline `fleet-report`:
+/// host-sized defaults with the command-line pool/driver/budget overrides
+/// and the flag-built default pipeline. The manager publishes into
+/// `registry` when `--metrics-out` attached one.
+fn serve_config_for(args: &Args, registry: Option<&Registry>) -> ServeConfig {
+    let mut config = ServeConfig {
+        pipeline: pipeline_for(&args.parallel, &args.ingest),
+        ..ServeConfig::default()
+    };
+    if let Some(r) = registry {
+        config.registry = r.clone();
+    }
+    if let Some(n) = args.pool {
+        config.pool_workers = n;
+    }
+    if let Some(n) = args.drivers {
+        config.drivers = n;
+    }
+    if let Some(n) = args.budget_chunks {
+        config.budget_chunks = n;
+    }
+    config
+}
+
+/// One stderr line per session: id, state, cost, record count, name, and
+/// the error (if any) — the same shape the socket `SESSIONS` reply uses.
+fn session_line(s: &SessionSummary) -> String {
+    format!(
+        "{}\t{}\tcost={}\trecords={}\t{}{}",
+        s.id,
+        s.state,
+        s.cost,
+        s.records,
+        s.name,
+        s.error
+            .as_deref()
+            .map(|e| format!("\t({e})"))
+            .unwrap_or_default()
+    )
+}
+
+/// Drains `manager`, prints per-session summaries to stderr and the fleet
+/// report to stdout, then shuts the manager down. Errors if any session
+/// failed, so scripted spool runs exit nonzero on bad traces.
+fn drain_and_report(mut manager: ServeManager, top: usize) -> Result<(), String> {
+    manager.wait_idle();
+    let mut failed = 0usize;
+    for s in manager.sessions() {
+        if s.state == SessionState::Failed || s.state == SessionState::Rejected {
+            failed += 1;
+        }
+        eprintln!("{}", session_line(&s));
+    }
+    print!("{}", manager.fleet_report(top));
+    manager.shutdown();
+    if failed > 0 {
+        return Err(format!("{failed} session(s) failed or were rejected"));
+    }
+    Ok(())
+}
+
+/// The session name for a submitted log path: its file name, or `stdin`.
+fn session_name(log_path: &str) -> String {
+    if log_path == "-" {
+        return "stdin".to_string();
+    }
+    Path::new(log_path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| log_path.to_string())
 }
 
 /// Opens the trace source for the log-reading commands: a file path, or
@@ -469,6 +604,93 @@ fn run_main() -> Result<(), String> {
                 before.heap.allocated_bytes,
                 after.heap.allocated_bytes
             );
+        }
+        "serve" => {
+            if args.spool.is_none() && args.socket.is_none() {
+                return Err("serve needs --spool <dir> and/or --socket <path>".into());
+            }
+            let manager = ServeManager::new(serve_config_for(&args, registry.as_ref()));
+            if let Some(dir) = &args.spool {
+                let ids = submit_spool(&manager, Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?;
+                eprintln!("spooled {} session(s) from {dir}", ids.len());
+            }
+            if let Some(path) = &args.socket {
+                #[cfg(unix)]
+                {
+                    let _ = std::fs::remove_file(path);
+                    let listener = std::os::unix::net::UnixListener::bind(path)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("serving on {path} (SUBMIT/SESSIONS/FLEET/CANCEL/PING/SHUTDOWN)");
+                    let served = heapdrag::core::serve::serve_socket(&manager, &listener);
+                    let _ = std::fs::remove_file(path);
+                    served.map_err(|e| e.to_string())?;
+                }
+                #[cfg(not(unix))]
+                return Err(format!("--socket {path} needs a unix platform"));
+            }
+            drain_and_report(manager, args.top)?;
+        }
+        #[cfg(unix)]
+        "submit" => {
+            let socket = args.positional.first().ok_or("submit needs <socket> <log|->")?;
+            let log_path = args.positional.get(1).ok_or("submit needs <socket> <log|->")?;
+            let name = args.name.clone().unwrap_or_else(|| session_name(log_path));
+            let mut overrides = Vec::new();
+            if args.parallel.shards != ParallelConfig::sequential().shards {
+                overrides.push(format!("shards={}", args.parallel.shards));
+            }
+            if args.parallel.chunk_records != ParallelConfig::sequential().chunk_records {
+                overrides.push(format!("chunk={}", args.parallel.chunk_records));
+            }
+            if args.ingest.is_salvage() {
+                overrides.push("mode=salvage".to_string());
+            }
+            let mut trace = open_trace(log_path)?;
+            let reply = heapdrag::core::serve::client_submit(
+                Path::new(socket),
+                &name,
+                &overrides.join(" "),
+                trace.as_mut(),
+            )
+            .map_err(|e| format!("{socket}: {e}"))?;
+            print!("{reply}");
+            if reply.starts_with("error:") {
+                return Err(format!("session `{name}` was not completed"));
+            }
+        }
+        #[cfg(unix)]
+        "sessions" => {
+            let socket = args.positional.first().ok_or("sessions needs <socket>")?;
+            let reply = heapdrag::core::serve::client_command(Path::new(socket), "SESSIONS")
+                .map_err(|e| format!("{socket}: {e}"))?;
+            print!("{reply}");
+        }
+        "fleet-report" => {
+            if let Some(socket) = &args.socket {
+                #[cfg(unix)]
+                {
+                    let reply = heapdrag::core::serve::client_command(
+                        Path::new(socket),
+                        &format!("FLEET {}", args.top),
+                    )
+                    .map_err(|e| format!("{socket}: {e}"))?;
+                    print!("{reply}");
+                }
+                #[cfg(not(unix))]
+                return Err(format!("--socket {socket} needs a unix platform"));
+            } else {
+                if args.positional.is_empty() {
+                    return Err("fleet-report needs <log>... or --socket <path>".into());
+                }
+                let manager = ServeManager::new(serve_config_for(&args, registry.as_ref()));
+                for p in &args.positional {
+                    manager.submit(SessionSpec::new(
+                        session_name(p),
+                        SessionSource::Path(p.into()),
+                    ));
+                }
+                drain_and_report(manager, args.top)?;
+            }
         }
         "report-sites" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
