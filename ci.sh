@@ -27,6 +27,11 @@
 #      to `fleet-report` over the same logs submitted in a different
 #      order, with the heapdrag_serve_* accounting reconciled in the
 #      metrics snapshot
+#  11. a differential smoke: one workload profiled under both interpreter
+#      dispatch loops (--interpreter fast|reference) must write
+#      byte-identical logs in both formats and byte-identical reports,
+#      and the seeded random-program property suite must pass with a
+#      pinned seed (so CI failures are replayable verbatim)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -162,5 +167,25 @@ grep -q '^=== fleet drag report: 3 sessions merged' "$tmp/fleet-spool.txt"
 grep -q '^heapdrag_serve_sessions_completed_total 3$' "$tmp/serve.prom"
 grep -q '^heapdrag_serve_active_sessions 0$' "$tmp/serve.prom"
 grep -q '^heapdrag_serve_inflight_chunks 0$' "$tmp/serve.prom"
+
+echo "== smoke: differential interpreters =="
+# The fast pre-decoded interpreter is the default; the reference step()
+# loop is the oracle. One workload, both interpreters, both log formats:
+# the traces must be byte-identical, and so must the rendered reports.
+for kind in fast reference; do
+    "$bin" profile examples/dragged.hdj -o "$tmp/diff-$kind.log" \
+        --interpreter "$kind"
+    "$bin" profile examples/dragged.hdj -o "$tmp/diff-$kind-bin.log" \
+        --interpreter "$kind" --log-format binary
+    "$bin" report "$tmp/diff-$kind.log" --top 5 > "$tmp/diff-$kind-report.txt"
+done
+cmp "$tmp/diff-fast.log" "$tmp/diff-reference.log"
+cmp "$tmp/diff-fast-bin.log" "$tmp/diff-reference-bin.log"
+diff -u "$tmp/diff-fast-report.txt" "$tmp/diff-reference-report.txt"
+# The property sweep over generated programs (megamorphic call sites,
+# unwinds, finalizers), pinned to a fixed seed for reproducibility.
+TESTKIT_SEED=3405691582 TESTKIT_CASES=64 \
+    cargo test -q --release --test interp_differential \
+    random_programs_are_interpreter_invariant
 
 echo "== ok =="

@@ -1,0 +1,277 @@
+//! Interpreter dispatch micro-benchmarks: steps/second per opcode class,
+//! fast (pre-decoded, superinstructions, inline caches) versus the
+//! reference `step()` loop, each under the free-running `NullObserver`
+//! and under the full drag profiler.
+//!
+//! Each program is a counted loop whose body is dominated by one opcode
+//! class, so the per-row speedup isolates what pre-decoding buys for that
+//! dispatch family. The PR's acceptance bar is a >= 2x aggregate speedup
+//! with the NullObserver; the table footer prints the geometric mean.
+
+use std::time::Instant;
+
+use heapdrag_core::DragProfiler;
+use heapdrag_vm::builder::{MethodBuilder, ProgramBuilder};
+use heapdrag_vm::class::Visibility;
+use heapdrag_vm::interp::{InterpreterKind, Vm, VmConfig};
+use heapdrag_vm::program::Program;
+
+const SAMPLES: usize = 5;
+
+// Loop-counter local; benchmark bodies may use locals 2..6 freely.
+const L_I: u16 = 1;
+
+/// Builds `main` as a `trips`-iteration counted loop around `body`.
+fn counted_loop(trips: i64, body: impl Fn(&mut MethodBuilder)) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.declare_method("main", None, true, 1, 8);
+    {
+        let mut m = b.begin_body(main);
+        m.push_int(0).store(L_I);
+        m.label("loop");
+        m.load(L_I).push_int(trips).cmpge().branch("end");
+        body(&mut m);
+        m.load(L_I).push_int(1).add().store(L_I);
+        m.jump("loop");
+        m.label("end");
+        m.ret();
+        m.finish();
+    }
+    b.set_entry(main);
+    b.finish().expect("benchmark program links")
+}
+
+/// Median steps/second over `SAMPLES` runs (after one warm-up).
+fn steps_per_sec(program: &Program, kind: InterpreterKind, profiled: bool) -> f64 {
+    let config = VmConfig {
+        interpreter: kind,
+        ..VmConfig::default()
+    };
+    let run = |cfg: &VmConfig| -> (u64, f64) {
+        let mut vm = Vm::new(program, cfg.clone());
+        let start = Instant::now();
+        let outcome = if profiled {
+            let mut profiler = DragProfiler::new();
+            vm.run_observed(std::hint::black_box(&[]), &mut profiler)
+                .expect("benchmark runs")
+        } else {
+            vm.run(std::hint::black_box(&[])).expect("benchmark runs")
+        };
+        (outcome.steps, start.elapsed().as_secs_f64())
+    };
+    run(&config); // warm-up
+    let mut rates: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let (steps, secs) = run(&config);
+            steps as f64 / secs
+        })
+        .collect();
+    rates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[rates.len() / 2]
+}
+
+fn arith_program(trips: i64) -> Program {
+    counted_loop(trips, |m| {
+            m.push_int(1).store(2);
+            m.load(2).push_int(3).add().push_int(5).add().push_int(2).mul().store(2);
+            m.load(2).neg().push_int(7).sub().store(3);
+        },
+    )
+}
+
+fn stack_program(trips: i64) -> Program {
+    counted_loop(
+        trips,
+        |m| {
+            m.push_int(9).store(2);
+            m.load(2).store(3);
+            m.load(3).load(2).swap().pop().store(4);
+            m.load(4).dup().pop().store(2);
+        },
+    )
+}
+
+fn branch_program(trips: i64) -> Program {
+    counted_loop(
+        trips,
+        |m| {
+            for j in 0..4 {
+                let next = format!("b{j}");
+                m.load(L_I).push_int(j).cmplt().branch(&next);
+                m.label(&next);
+            }
+        },
+    )
+}
+
+fn field_program(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let c = b
+        .begin_class("bench.C")
+        .field("x", Visibility::Public)
+        .field("y", Visibility::Public)
+        .finish();
+    let x = b.field_slot(c, "x");
+    let y = b.field_slot(c, "y");
+    let main = b.declare_method("main", None, true, 1, 8);
+    {
+        let mut m = b.begin_body(main);
+        m.push_int(0).store(L_I);
+        m.new_obj(c).store(2);
+        m.load(2).push_int(0).putfield(x);
+        m.load(2).push_int(0).putfield(y);
+        m.label("loop");
+        m.load(L_I).push_int(trips).cmpge().branch("end");
+        m.load(2).getfield(x).push_int(1).add().store(3);
+        m.load(2).load(3).putfield(x);
+        m.load(2).getfield(y).store(4);
+        m.load(2).load(4).putfield(y);
+        m.load(L_I).push_int(1).add().store(L_I);
+        m.jump("loop");
+        m.label("end").ret();
+        m.finish();
+    }
+    b.set_entry(main);
+    b.finish().expect("links")
+}
+
+fn call_program(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let f = b.declare_method("f", None, true, 1, 2);
+    {
+        let mut m = b.begin_body(f);
+        m.load(0).push_int(1).add().ret_val();
+        m.finish();
+    }
+    let main = b.declare_method("main", None, true, 1, 8);
+    {
+        let mut m = b.begin_body(main);
+        m.push_int(0).store(L_I);
+        m.label("loop");
+        m.load(L_I).push_int(trips).cmpge().branch("end");
+        m.load(L_I).call(f).store(2);
+        m.load(2).call(f).pop();
+        m.load(L_I).push_int(1).add().store(L_I);
+        m.jump("loop");
+        m.label("end").ret();
+        m.finish();
+    }
+    b.set_entry(main);
+    b.finish().expect("links")
+}
+
+fn vcall_program(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let c = b
+        .begin_class("bench.D")
+        .field("x", Visibility::Public)
+        .finish();
+    let x = b.field_slot(c, "x");
+    let step = b.declare_method("step", Some(c), false, 2, 3);
+    {
+        let mut m = b.begin_body(step);
+        m.load(0).getfield(x).load(1).add().ret_val();
+        m.finish();
+    }
+    let main = b.declare_method("main", None, true, 1, 8);
+    {
+        let mut m = b.begin_body(main);
+        m.push_int(0).store(L_I);
+        m.new_obj(c).store(2);
+        m.load(2).push_int(0).putfield(x);
+        m.label("loop");
+        m.load(L_I).push_int(trips).cmpge().branch("end");
+        m.load(2).load(L_I).call_virtual("step", 1).store(3);
+        m.load(2).load(3).call_virtual("step", 1).pop();
+        m.load(L_I).push_int(1).add().store(L_I);
+        m.jump("loop");
+        m.label("end").ret();
+        m.finish();
+    }
+    b.set_entry(main);
+    b.finish().expect("links")
+}
+
+fn alloc_program(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let c = b
+        .begin_class("bench.Cell")
+        .field("v", Visibility::Public)
+        .finish();
+    let main = b.declare_method("main", None, true, 1, 8);
+    {
+        let mut m = b.begin_body(main);
+        m.push_int(0).store(L_I);
+        m.label("loop");
+        m.load(L_I).push_int(trips).cmpge().branch("end");
+        m.new_obj(c).pop();
+        m.push_int(4).new_array().pop();
+        m.load(L_I).push_int(1).add().store(L_I);
+        m.jump("loop");
+        m.label("end").ret();
+        m.finish();
+    }
+    b.set_entry(main);
+    b.finish().expect("links")
+}
+
+fn array_program(trips: i64) -> Program {
+    counted_loop(
+        trips,
+        |m| {
+            m.push_int(8).new_array().store(2);
+            m.load(2).push_int(3).load(L_I).astore();
+            m.load(2).push_int(3).aload().store(3);
+            m.load(2).array_len().store(4);
+        },
+    )
+}
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let trips = 150_000;
+    let programs: Vec<(&str, Program)> = vec![
+        ("arith", arith_program(trips)),
+        ("stack", stack_program(trips)),
+        ("branch", branch_program(trips)),
+        ("field", field_program(trips)),
+        ("call", call_program(trips / 4)),
+        ("vcall", vcall_program(trips / 4)),
+        ("alloc", alloc_program(trips / 4)),
+        ("array", array_program(trips / 2)),
+    ];
+
+    println!("=== Interpreter dispatch (median steps/sec of {SAMPLES} runs) ===");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}   {:>12} {:>12} {:>8}",
+        "class", "fast-null", "ref-null", "speedup", "fast-prof", "ref-prof", "speedup"
+    );
+    println!("{}", "-".repeat(80));
+    let mut null_speedups = Vec::new();
+    let mut prof_speedups = Vec::new();
+    for (name, program) in &programs {
+        let fast_null = steps_per_sec(program, InterpreterKind::Fast, false);
+        let ref_null = steps_per_sec(program, InterpreterKind::Reference, false);
+        let fast_prof = steps_per_sec(program, InterpreterKind::Fast, true);
+        let ref_prof = steps_per_sec(program, InterpreterKind::Reference, true);
+        let sn = fast_null / ref_null;
+        let sp = fast_prof / ref_prof;
+        null_speedups.push(sn);
+        prof_speedups.push(sp);
+        println!(
+            "{:<8} {:>12.3e} {:>12.3e} {:>7.2}x   {:>12.3e} {:>12.3e} {:>7.2}x",
+            name, fast_null, ref_null, sn, fast_prof, ref_prof, sp
+        );
+    }
+    println!("{}", "-".repeat(80));
+    let gn = geomean(&null_speedups);
+    let gp = geomean(&prof_speedups);
+    println!("geomean speedup: {gn:.2}x (NullObserver), {gp:.2}x (drag profiler)");
+    println!(
+        "acceptance (>= 2x with NullObserver): {}",
+        if gn >= 2.0 { "PASS" } else { "FAIL" }
+    );
+}

@@ -13,7 +13,8 @@
 
 use std::time::{Duration, Instant};
 
-use heapdrag_vm::interp::{Vm, VmConfig};
+use heapdrag_core::profile;
+use heapdrag_vm::interp::{InterpreterKind, Vm, VmConfig};
 use heapdrag_workloads::all_workloads;
 
 fn runtime_config() -> VmConfig {
@@ -101,4 +102,65 @@ fn main() {
     println!("{}", "-".repeat(52));
     println!("{:<10} {:>40.2}", "average", sum / n);
     println!("(paper: between -0.38% and 2.32%, average ~1.07%)");
+
+    // Instrumentation overhead, before/after the pre-decoded interpreter:
+    // wall-clock of a full drag-profiled run (deep GC every 100 KB)
+    // against the plain run, per interpreter. "speedup" is the end-to-end
+    // profiled-run improvement the fast interpreter delivers.
+    println!("\n=== Profiling overhead: reference (before) vs fast (after) ===");
+    println!(
+        "{:<10} {:>9} {:>9} {:>6} {:>9} {:>9} {:>6} {:>8}",
+        "benchmark", "ref µs", "ref-prof", "ovh", "fast µs", "fast-prof", "ovh", "speedup"
+    );
+    println!("{}", "-".repeat(74));
+    let mut speedups = Vec::new();
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let program = w.original();
+        let timed = |kind: InterpreterKind, profiled: bool| -> Duration {
+            let plain = VmConfig {
+                interpreter: kind,
+                ..VmConfig::default()
+            };
+            let prof = VmConfig {
+                interpreter: kind,
+                ..VmConfig::profiling()
+            };
+            let once = || {
+                let start = Instant::now();
+                if profiled {
+                    profile(&program, std::hint::black_box(&input), prof.clone()).expect("runs");
+                } else {
+                    Vm::new(&program, plain.clone())
+                        .run(std::hint::black_box(&input))
+                        .expect("runs");
+                }
+                start.elapsed()
+            };
+            once(); // warm-up
+            let mut times: Vec<Duration> = (0..SAMPLES).map(|_| once()).collect();
+            times.sort_unstable();
+            times[times.len() / 2]
+        };
+        let ref_plain = timed(InterpreterKind::Reference, false);
+        let ref_prof = timed(InterpreterKind::Reference, true);
+        let fast_plain = timed(InterpreterKind::Fast, false);
+        let fast_prof = timed(InterpreterKind::Fast, true);
+        let speedup = ref_prof.as_secs_f64() / fast_prof.as_secs_f64();
+        speedups.push(speedup);
+        println!(
+            "{:<10} {:>9} {:>9} {:>5.2}x {:>9} {:>9} {:>5.2}x {:>7.2}x",
+            w.name,
+            ref_plain.as_micros(),
+            ref_prof.as_micros(),
+            ref_prof.as_secs_f64() / ref_plain.as_secs_f64(),
+            fast_plain.as_micros(),
+            fast_prof.as_micros(),
+            fast_prof.as_secs_f64() / fast_plain.as_secs_f64(),
+            speedup,
+        );
+    }
+    println!("{}", "-".repeat(74));
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("average profiled-run speedup from the fast interpreter: {avg:.2}x");
 }

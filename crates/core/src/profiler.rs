@@ -7,7 +7,9 @@ use heapdrag_obs::{Counter, Gauge, Registry};
 use heapdrag_vm::error::VmError;
 use heapdrag_vm::ids::ObjectId;
 use heapdrag_vm::interp::{RunOutcome, Vm, VmConfig};
-use heapdrag_vm::observer::{AllocEvent, FreeEvent, GcEvent, HeapObserver, UseEvent, UseKind};
+use heapdrag_vm::observer::{
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, UseDelivery, UseEvent, UseKind,
+};
 use heapdrag_vm::program::Program;
 use heapdrag_vm::site::SiteTable;
 
@@ -185,6 +187,13 @@ impl HeapObserver for DragProfiler {
             self.records.push(t.record);
         }
         self.records.sort_by_key(|r| r.object);
+    }
+
+    /// The trailer update is last-write-wins per object, so the fast
+    /// interpreter may deliver only the final use per object per GC window
+    /// — the paper's "touch the trailer once per handle", batched.
+    fn use_delivery(&self) -> UseDelivery {
+        UseDelivery::Coalesced
     }
 }
 

@@ -1,10 +1,11 @@
 //! # heapdrag-testkit
 //!
-//! A zero-dependency replacement for the slice of `rand` + `proptest` the
-//! workspace actually uses, so the test suite builds and runs with the
-//! network disabled.
+//! A replacement for the slice of `rand` + `proptest` the workspace
+//! actually uses (no external crates, so the test suite builds and runs
+//! with the network disabled), plus a seeded generator of verifier-valid
+//! VM programs for differential interpreter testing.
 //!
-//! Four pieces:
+//! Five pieces:
 //!
 //! * [`Rng`] — a deterministic SplitMix64 generator with the handful of
 //!   sampling helpers the generators in `tests/` need (ranges, booleans,
@@ -21,6 +22,10 @@
 //!   ([`TrickleReader`], [`StutterReader`]) that deliver input in
 //!   adversarially small or misaligned pieces, for exercising streaming
 //!   ingestion.
+//! * [`genprog`] — a seeded random-program generator ([`random_program`])
+//!   emitting verifier-valid bytecode with megamorphic virtual call
+//!   sites, exception handlers, finalizers, and deep call chains, for
+//!   pinning the fast interpreter against the reference one.
 //!
 //! ```
 //! use heapdrag_testkit::{check, Rng};
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod genprog;
 pub mod reader;
 pub mod rng;
 pub mod runner;
@@ -42,6 +48,7 @@ pub mod runner;
 pub use fault::{
     complete_frames, inject, inject_binary, BinaryFault, BinaryFaultReport, Fault, FaultReport,
 };
+pub use genprog::random_program;
 pub use reader::{StutterReader, TrickleReader};
 pub use rng::Rng;
 pub use runner::{check, check_with, Config};

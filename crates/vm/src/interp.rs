@@ -5,15 +5,33 @@ use std::collections::HashMap;
 use crate::error::VmError;
 use crate::gc::{collect_full, collect_minor};
 use crate::heap::{Handle, Heap, HeapStats};
-use crate::ids::{ClassId, MethodId, SiteId};
+use crate::ids::{ChainId, ClassId, MethodId, ObjectId, SiteId};
 use crate::insn::{Insn, OpcodeClass};
 use crate::metrics::VmMetrics;
 use crate::observer::{
-    AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, UseEvent, UseKind,
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, UseDelivery, UseEvent, UseKind,
 };
+use crate::predecode::{predecode, ChainIc, CtxIc, CtxTable, IcState, Op, PredecodedProgram, VtIc};
 use crate::program::Program;
 use crate::site::SiteTable;
 use crate::value::Value;
+
+/// Which dispatch loop executes bytecode.
+///
+/// Both interpreters are observably identical — same output, step counts,
+/// per-class dispatch tallies, observer event streams, and errors; the
+/// differential test harness pins this. The fast loop runs on a
+/// pre-decoded instruction stream (see [`crate::predecode`]) with
+/// superinstructions and inline caches; the reference loop executes
+/// `Method.code` one [`Insn`] at a time and serves as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpreterKind {
+    /// Pre-decoded, superinstruction-fused, inline-cached dispatch (default).
+    #[default]
+    Fast,
+    /// The original one-`Insn`-at-a-time loop.
+    Reference,
+}
 
 /// Tuning knobs for a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +57,9 @@ pub struct VmConfig {
     pub max_frames: usize,
     /// Optional hard cap on executed instructions.
     pub max_steps: Option<u64>,
+    /// Which dispatch loop to use (observably identical; see
+    /// [`InterpreterKind`]).
+    pub interpreter: InterpreterKind,
 }
 
 impl Default for VmConfig {
@@ -52,6 +73,7 @@ impl Default for VmConfig {
             nursery_bytes: 64 * 1024,
             max_frames: 1024,
             max_steps: Some(2_000_000_000),
+            interpreter: InterpreterKind::default(),
         }
     }
 }
@@ -80,6 +102,10 @@ pub struct RunOutcome {
     pub deep_gcs: u64,
     /// Heap counters (allocations, frees, GC work).
     pub heap: HeapStats,
+    /// Per-[`OpcodeClass`] dispatch tallies, in discriminant order. A fused
+    /// superinstruction counts once per *original* instruction, so the
+    /// tallies are interpreter-independent.
+    pub dispatch: [u64; OpcodeClass::COUNT],
 }
 
 impl RunOutcome {
@@ -108,9 +134,64 @@ struct Frame {
     locals: Vec<Value>,
     stack: Vec<Value>,
     /// Caller context: interned sites of the call chain, innermost first,
-    /// already truncated to `site_depth - 1`.
+    /// already truncated to `site_depth - 1`. Reference-interpreter frames
+    /// (and finalizer-lineage frames) carry it materialized; fast frames
+    /// leave it empty and use `ctx` instead.
     context: Vec<SiteId>,
+    /// The same caller context as an id into the VM's private
+    /// [`CtxTable`]; only meaningful for frames the fast loop pushed.
+    ctx: u32,
     kind: FrameKind,
+}
+
+/// One buffered use event under [`UseDelivery::Coalesced`]: the last use of
+/// a live handle since the previous flush.
+#[derive(Debug, Clone, Copy)]
+struct PendingUse {
+    /// The handle's slot index (key into `PendingUses::slots`).
+    slot: u32,
+    object: ObjectId,
+    kind: UseKind,
+    time: u64,
+    site: ChainId,
+}
+
+/// Last-use-per-handle buffer for coalesced delivery. `slots[h]` holds
+/// `position + 1` of the handle's entry in `entries` (0 = none). Handles
+/// cannot be recycled within a window because frees happen only inside GC,
+/// which flushes first.
+#[derive(Debug, Default)]
+struct PendingUses {
+    entries: Vec<PendingUse>,
+    slots: Vec<u32>,
+}
+
+impl PendingUses {
+    fn note(&mut self, handle: Handle, object: ObjectId, kind: UseKind, time: u64, site: ChainId) {
+        let idx = handle.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, 0);
+        }
+        let entry = PendingUse {
+            slot: idx as u32,
+            object,
+            kind,
+            time,
+            site,
+        };
+        let pos = self.slots[idx];
+        if pos == 0 {
+            self.entries.push(entry);
+            self.slots[idx] = self.entries.len() as u32;
+        } else {
+            self.entries[(pos - 1) as usize] = entry;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.slots.clear();
+    }
 }
 
 struct Thrown {
@@ -146,11 +227,30 @@ pub struct Vm<'p> {
     /// hot path; flushed to registry counters at the end of a run).
     dispatch: [u64; OpcodeClass::COUNT],
     metrics: Option<VmMetrics>,
+    /// Pre-decoded program for the fast loop (empty under
+    /// [`InterpreterKind::Reference`]).
+    pre: PredecodedProgram,
+    /// Inline-cache state, persistent across runs (site ids are too).
+    ics: IcState,
+    /// Interned caller contexts for fast frames.
+    ctxs: CtxTable,
+    /// Buffered uses awaiting a coalesced flush.
+    pending: PendingUses,
 }
 
 impl<'p> Vm<'p> {
     /// Creates a VM for `program` with the given configuration.
+    ///
+    /// Under [`InterpreterKind::Fast`] this pre-decodes every method (see
+    /// [`crate::predecode`]); the pre-decoded stream is a pure function of
+    /// the immutably borrowed program, so code edits require a new `Vm`
+    /// (the borrow checker enforces this).
     pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        let pre = match config.interpreter {
+            InterpreterKind::Fast => predecode(program),
+            InterpreterKind::Reference => PredecodedProgram::default(),
+        };
+        let ics = IcState::for_program(&pre);
         Vm {
             program,
             config,
@@ -167,6 +267,10 @@ impl<'p> Vm<'p> {
             in_deep_gc: false,
             dispatch: [0; OpcodeClass::COUNT],
             metrics: None,
+            pre,
+            ics,
+            ctxs: CtxTable::new(),
+            pending: PendingUses::default(),
         }
     }
 
@@ -228,16 +332,29 @@ impl<'p> Vm<'p> {
         if !locals.is_empty() {
             locals[0] = Value::Ref(input_array);
         }
+        let stack = match self.config.interpreter {
+            InterpreterKind::Fast => {
+                Vec::with_capacity(self.pre.methods[entry.index()].stack_capacity)
+            }
+            InterpreterKind::Reference => Vec::new(),
+        };
         self.frames.push(Frame {
             method: entry,
             pc: 0,
             locals,
-            stack: Vec::new(),
+            stack,
             context: Vec::new(),
+            ctx: 0,
             kind: FrameKind::Entry,
         });
 
-        while let StepResult::Continue = self.step(observer)? {}
+        match self.config.interpreter {
+            InterpreterKind::Fast => self.run_fast(observer)?,
+            InterpreterKind::Reference => {
+                while let StepResult::Continue = self.step(observer)? {}
+            }
+        }
+        self.flush_pending_uses(observer);
 
         // Final deep GC, then report survivors as-if collected at exit.
         if self.config.deep_gc_interval.is_some() {
@@ -270,6 +387,7 @@ impl<'p> Vm<'p> {
             end_time: end,
             deep_gcs: self.deep_gcs,
             heap: self.heap.stats(),
+            dispatch: self.dispatch,
         })
     }
 
@@ -286,6 +404,7 @@ impl<'p> Vm<'p> {
         self.deep_gcs = 0;
         self.in_deep_gc = false;
         self.dispatch = [0; OpcodeClass::COUNT];
+        self.pending.reset();
         self.next_deep_gc = self.config.deep_gc_interval.unwrap_or(u64::MAX);
         self.next_minor_gc = if self.config.generational {
             self.config.nursery_bytes
@@ -350,6 +469,7 @@ impl<'p> Vm<'p> {
     }
 
     fn full_gc(&mut self, observer: &mut dyn HeapObserver) -> crate::gc::CollectOutcome {
+        self.flush_pending_uses(observer);
         let roots = self.roots();
         let time = self.heap.clock();
         let outcome = collect_full(&mut self.heap, self.program, &roots, &mut |o| {
@@ -367,6 +487,7 @@ impl<'p> Vm<'p> {
     }
 
     fn minor_gc(&mut self, observer: &mut dyn HeapObserver) {
+        self.flush_pending_uses(observer);
         let roots = self.roots();
         let time = self.heap.clock();
         let outcome = collect_minor(&mut self.heap, self.program, &roots, &mut |o| {
@@ -509,6 +630,7 @@ impl<'p> Vm<'p> {
             locals,
             stack: Vec::new(),
             context,
+            ctx: 0,
             kind,
         });
         Ok(())
@@ -978,6 +1100,998 @@ impl<'p> Vm<'p> {
             return Ok(StepResult::ProgramExit);
         }
         Ok(StepResult::Continue)
+    }
+
+    // --- the fast interpreter ---------------------------------------------
+    //
+    // Observably identical to `step()` (the differential harness pins this),
+    // but structured for speed: it executes the pre-decoded op stream with
+    // the top frame held in an owned local, spilling it back to
+    // `self.frames` only around GC, calls, and unwinding (so `roots()`
+    // always sees it). Inline caches make the chain-interning and vtable
+    // work a compare on the hot path; `UseDelivery` lets observers skip or
+    // coalesce the per-access use traffic.
+
+    /// Delivers buffered coalesced uses in noting order and clears the
+    /// buffer. Called at every GC safepoint (before any frees) and at the
+    /// end of a run (before survivor frees), so observers always see a use
+    /// before the free that follows it.
+    fn flush_pending_uses(&mut self, observer: &mut dyn HeapObserver) {
+        if self.pending.entries.is_empty() {
+            return;
+        }
+        let PendingUses { entries, slots } = &mut self.pending;
+        for e in entries.drain(..) {
+            slots[e.slot as usize] = 0;
+            observer.on_use(UseEvent {
+                object: e.object,
+                kind: e.kind,
+                time: e.time,
+                site: e.site,
+            });
+        }
+    }
+
+    /// The event chain for an allocation or use site, via its inline cache.
+    ///
+    /// On a miss this interns exactly what the reference interpreter's
+    /// `event_chain` would — at the same logical point in the run — so the
+    /// site table's insertion order (and therefore all log output) is
+    /// identical across interpreters.
+    fn fast_chain(
+        &mut self,
+        ics: &mut IcState,
+        method: MethodId,
+        insn_pc: u32,
+        ctx: u32,
+        ic: u32,
+    ) -> ChainId {
+        let slot = &mut ics.chains[ic as usize];
+        if slot.ctx_plus1 == ctx + 1 {
+            return slot.chain;
+        }
+        let site = self.sites.intern_site(method, insn_pc);
+        let parent = self.ctxs.get(ctx);
+        let mut chain = Vec::with_capacity(1 + parent.len());
+        chain.push(site);
+        chain.extend_from_slice(parent);
+        chain.truncate(self.config.site_depth.max(1));
+        let id = self.sites.intern_chain(&chain);
+        *slot = ChainIc {
+            ctx_plus1: ctx + 1,
+            chain: id,
+        };
+        id
+    }
+
+    /// The fast-path `record_use`: honors the observer's [`UseDelivery`].
+    #[allow(clippy::too_many_arguments)]
+    fn fast_use(
+        &mut self,
+        ics: &mut IcState,
+        observer: &mut dyn HeapObserver,
+        delivery: UseDelivery,
+        handle: Handle,
+        kind: UseKind,
+        method: MethodId,
+        insn_pc: u32,
+        ctx: u32,
+        ic: u32,
+    ) {
+        if delivery == UseDelivery::Skip {
+            return;
+        }
+        let Some(obj) = self.heap.get(handle) else {
+            return;
+        };
+        if obj.pinned {
+            return;
+        }
+        let object = obj.id;
+        let site = self.fast_chain(ics, method, insn_pc, ctx, ic);
+        let time = self.heap.clock();
+        match delivery {
+            UseDelivery::PerAccess => observer.on_use(UseEvent {
+                object,
+                kind,
+                time,
+                site,
+            }),
+            UseDelivery::Coalesced => self.pending.note(handle, object, kind, time, site),
+            UseDelivery::Skip => unreachable!("handled above"),
+        }
+    }
+
+    /// The fast-path `allocate`: same GC-then-OOM policy and events as the
+    /// reference, with the chain via the site's inline cache. The current
+    /// frame must already be spilled (the forced collection needs roots).
+    #[allow(clippy::too_many_arguments)]
+    fn allocate_fast(
+        &mut self,
+        ics: &mut IcState,
+        observer: &mut dyn HeapObserver,
+        class: ClassId,
+        slots: usize,
+        is_array: bool,
+        method: MethodId,
+        insn_pc: u32,
+        ctx: u32,
+        ic: u32,
+    ) -> Result<Handle, Thrown> {
+        if self.heap.would_exceed_limit(slots) {
+            self.full_gc(observer);
+            if self.heap.would_exceed_limit(slots) {
+                return Err(Thrown {
+                    class: self.program.builtins.out_of_memory,
+                    value: None,
+                });
+            }
+        }
+        let pinned = self.program.classes[class.index()].pinned;
+        let handle = self.heap.alloc(class, slots, is_array, pinned);
+        if !pinned {
+            let obj = self.heap.get(handle).expect("fresh allocation");
+            let object = obj.id;
+            let size = obj.size_bytes;
+            let site = self.fast_chain(ics, method, insn_pc, ctx, ic);
+            observer.on_alloc(AllocEvent {
+                object,
+                class,
+                size,
+                time: self.heap.clock(),
+                site,
+            });
+        }
+        Ok(handle)
+    }
+
+    /// The fast-path `push_frame` for `FrameKind::Normal` calls: the callee
+    /// context is a `u32` from the call site's context cache instead of a
+    /// materialized `Vec`. A miss interns the caller site exactly as the
+    /// reference `push_frame` would.
+    #[allow(clippy::too_many_arguments)]
+    fn push_frame_fast(
+        &mut self,
+        pre: &PredecodedProgram,
+        ics: &mut IcState,
+        method: MethodId,
+        args: Vec<Value>,
+        caller_method: MethodId,
+        caller_insn_pc: u32,
+        caller_ctx: u32,
+        cic: u32,
+    ) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_frames {
+            return Err(VmError::StackOverflow {
+                limit: self.config.max_frames,
+            });
+        }
+        let m = &self.program.methods[method.index()];
+        debug_assert_eq!(args.len(), m.num_params as usize);
+        let mut locals = args;
+        locals.resize(m.num_locals as usize, Value::Null);
+        let slot = &mut ics.ctxs[cic as usize];
+        let ctx = if slot.caller_plus1 == caller_ctx + 1 {
+            slot.callee
+        } else {
+            let site = self.sites.intern_site(caller_method, caller_insn_pc);
+            let parent = self.ctxs.get(caller_ctx);
+            let mut ctx_vec = Vec::with_capacity(1 + parent.len());
+            ctx_vec.push(site);
+            ctx_vec.extend_from_slice(parent);
+            ctx_vec.truncate(self.config.site_depth.saturating_sub(1));
+            let id = self.ctxs.intern(ctx_vec);
+            *slot = CtxIc {
+                caller_plus1: caller_ctx + 1,
+                callee: id,
+            };
+            id
+        };
+        self.frames.push(Frame {
+            method,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(pre.methods[method.index()].stack_capacity),
+            context: Vec::new(),
+            ctx,
+            kind: FrameKind::Normal,
+        });
+        Ok(())
+    }
+
+    /// Runs the fast loop, temporarily moving the pre-decoded program and
+    /// inline caches out of `self` so the loop can borrow them alongside
+    /// `&mut self`.
+    fn run_fast(&mut self, observer: &mut dyn HeapObserver) -> Result<(), VmError> {
+        let pre = std::mem::take(&mut self.pre);
+        let mut ics = std::mem::take(&mut self.ics);
+        let result = self.fast_loop(&pre, &mut ics, observer);
+        self.pre = pre;
+        self.ics = ics;
+        result
+    }
+
+    /// The pre-decoded dispatch loop. Mirrors `step()` op for op — same
+    /// step accounting, dispatch tallies, event points, error values, and
+    /// fault-pc attribution (fused ops attribute each half to its original
+    /// pc) — see the module docs of [`crate::predecode`].
+    #[allow(clippy::too_many_lines)]
+    fn fast_loop(
+        &mut self,
+        pre: &PredecodedProgram,
+        ics: &mut IcState,
+        observer: &mut dyn HeapObserver,
+    ) -> Result<(), VmError> {
+        let delivery = observer.use_delivery();
+        let mut frame = match self.frames.pop() {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        let mut mid = frame.method;
+        let mut ops: &[Op] = &pre.methods[mid.index()].ops;
+        let mut pc = frame.pc as usize;
+        let mut ctx = frame.ctx;
+
+        /// Pops the next runnable frame into the loop's locals; program
+        /// exit when none remain.
+        macro_rules! reload {
+            () => {{
+                frame = match self.frames.pop() {
+                    Some(f) => f,
+                    None => return Ok(()),
+                };
+                mid = frame.method;
+                ops = &pre.methods[mid.index()].ops;
+                pc = frame.pc as usize;
+                ctx = frame.ctx;
+            }};
+        }
+
+        /// Pops the operand stack; `StackUnderflow` at the given fault pc
+        /// (the reference's `pop()` reports `frame.pc - 1`).
+        macro_rules! fpop {
+            ($fault_pc:expr) => {
+                match frame.stack.pop() {
+                    Some(v) => v,
+                    None => {
+                        return Err(VmError::StackUnderflow {
+                            method: mid,
+                            pc: $fault_pc,
+                        })
+                    }
+                }
+            };
+        }
+
+        macro_rules! fpop_int {
+            ($fault_pc:expr) => {
+                fpop!($fault_pc).as_int()?
+            };
+        }
+
+        /// Spills the frame (with the pc the reference would hold: one past
+        /// the faulting pc) and runs the shared unwinder, then resumes.
+        macro_rules! fast_throw {
+            ($thrown:expr, $fault_pc:expr) => {{
+                let fault_pc = $fault_pc;
+                frame.pc = fault_pc + 1;
+                self.frames.push(frame);
+                self.throw($thrown, fault_pc)?;
+                reload!();
+                continue;
+            }};
+        }
+
+        /// The inter-step bookkeeping for the second half of a fused pair:
+        /// budget check, step count, and dispatch tally, exactly as the
+        /// reference performs at the top of the second `step()`.
+        macro_rules! fuse_second {
+            ($class:expr) => {{
+                if let Some(max) = self.config.max_steps {
+                    if self.steps >= max {
+                        return Err(VmError::StepBudgetExhausted);
+                    }
+                }
+                self.steps += 1;
+                self.dispatch[$class as usize] += 1;
+                pc += 1;
+            }};
+        }
+
+        /// A fused compare-and-branch: the comparison pops at the first pc,
+        /// the (virtual) branch consumes the comparison result directly.
+        macro_rules! cmp_branch {
+            ($t:expr, $op:tt, $fault_pc:expr) => {{
+                let b = fpop_int!($fault_pc);
+                let a = fpop_int!($fault_pc);
+                let cond = a $op b;
+                fuse_second!(OpcodeClass::Control);
+                if cond {
+                    pc = $t as usize;
+                }
+            }};
+        }
+
+        loop {
+            if let Some(max) = self.config.max_steps {
+                if self.steps >= max {
+                    return Err(VmError::StepBudgetExhausted);
+                }
+            }
+            self.steps += 1;
+            let op = match ops.get(pc) {
+                Some(op) => *op,
+                None => {
+                    return Err(VmError::InvalidBytecode {
+                        method: mid,
+                        pc: pc as u32,
+                        reason: "fell off the end of the method".into(),
+                    })
+                }
+            };
+            self.dispatch[op.class_first() as usize] += 1;
+            let insn_pc = pc as u32;
+            pc += 1;
+
+            match op {
+                Op::PushInt(i) => frame.stack.push(Value::Int(i)),
+                Op::PushNull => frame.stack.push(Value::Null),
+                Op::Dup => {
+                    let v = fpop!(insn_pc);
+                    frame.stack.push(v);
+                    frame.stack.push(v);
+                }
+                Op::Pop => {
+                    fpop!(insn_pc);
+                }
+                Op::Swap => {
+                    let a = fpop!(insn_pc);
+                    let b = fpop!(insn_pc);
+                    frame.stack.push(a);
+                    frame.stack.push(b);
+                }
+                Op::Load(n) => {
+                    let v = frame.locals[n as usize];
+                    frame.stack.push(v);
+                }
+                Op::Store(n) => {
+                    let v = fpop!(insn_pc);
+                    frame.locals[n as usize] = v;
+                }
+                Op::Add => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    frame.stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                Op::Sub => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    frame.stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                Op::Mul => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    frame.stack.push(Value::Int(a.wrapping_mul(b)));
+                }
+                Op::Div | Op::Rem => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    if b == 0 {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.arithmetic,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    }
+                    let r = if matches!(op, Op::Div) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    frame.stack.push(Value::Int(r));
+                }
+                Op::Neg => {
+                    let a = fpop_int!(insn_pc);
+                    frame.stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Op::CmpEq | Op::CmpNe => {
+                    let b = fpop!(insn_pc);
+                    let a = fpop!(insn_pc);
+                    let eq = match (a, b) {
+                        (Value::Int(x), Value::Int(y)) => x == y,
+                        (Value::Ref(x), Value::Ref(y)) => x == y,
+                        (Value::Null, Value::Null) => true,
+                        (Value::Ref(_), Value::Null) | (Value::Null, Value::Ref(_)) => false,
+                        _ => {
+                            return Err(VmError::TypeMismatch {
+                                expected: "comparable pair",
+                                found: "mixed int/reference",
+                            })
+                        }
+                    };
+                    let want = matches!(op, Op::CmpEq);
+                    frame.stack.push(Value::Int((eq == want) as i64));
+                }
+                Op::CmpLt | Op::CmpLe | Op::CmpGt | Op::CmpGe => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    let r = match op {
+                        Op::CmpLt => a < b,
+                        Op::CmpLe => a <= b,
+                        Op::CmpGt => a > b,
+                        _ => a >= b,
+                    };
+                    frame.stack.push(Value::Int(r as i64));
+                }
+                Op::Jump(t) => pc = t as usize,
+                Op::Branch(t) => {
+                    if fpop_int!(insn_pc) != 0 {
+                        pc = t as usize;
+                    }
+                }
+                Op::BranchIfNull(t) => {
+                    if fpop!(insn_pc).as_ref_nullable()?.is_none() {
+                        pc = t as usize;
+                    }
+                }
+                Op::BranchIfNotNull(t) => {
+                    if fpop!(insn_pc).as_ref_nullable()?.is_some() {
+                        pc = t as usize;
+                    }
+                }
+                Op::New { class, slots, ic } => {
+                    frame.pc = pc as u32;
+                    self.frames.push(frame);
+                    match self.allocate_fast(
+                        ics,
+                        observer,
+                        class,
+                        slots as usize,
+                        false,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    ) {
+                        Ok(h) => {
+                            self.frames
+                                .last_mut()
+                                .expect("active frame")
+                                .stack
+                                .push(Value::Ref(h));
+                            self.post_alloc_gc(observer)?;
+                        }
+                        Err(t) => self.throw(t, insn_pc)?,
+                    }
+                    reload!();
+                }
+                Op::NewArray { ic } => {
+                    let len = fpop_int!(insn_pc);
+                    if len < 0 {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.index_oob,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    }
+                    frame.pc = pc as u32;
+                    self.frames.push(frame);
+                    match self.allocate_fast(
+                        ics,
+                        observer,
+                        self.program.builtins.array,
+                        len as usize,
+                        true,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    ) {
+                        Ok(h) => {
+                            self.frames
+                                .last_mut()
+                                .expect("active frame")
+                                .stack
+                                .push(Value::Ref(h));
+                            self.post_alloc_gc(observer)?;
+                        }
+                        Err(t) => self.throw(t, insn_pc)?,
+                    }
+                    reload!();
+                }
+                Op::GetField { slot, ic } => {
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::GetField,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                    let v =
+                        *obj.data
+                            .get(slot as usize)
+                            .ok_or_else(|| VmError::InvalidBytecode {
+                                method: mid,
+                                pc: insn_pc,
+                                reason: format!("field slot {slot} out of range"),
+                            })?;
+                    frame.stack.push(v);
+                }
+                Op::PutField { slot, ic } => {
+                    let v = fpop!(insn_pc);
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::PutField,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    self.write_barrier(h, v);
+                    let obj = self.heap.get_mut(h).ok_or(VmError::InvalidHandle)?;
+                    let cell =
+                        obj.data
+                            .get_mut(slot as usize)
+                            .ok_or_else(|| VmError::InvalidBytecode {
+                                method: mid,
+                                pc: insn_pc,
+                                reason: format!("field slot {slot} out of range"),
+                            })?;
+                    *cell = v;
+                }
+                Op::ALoad { ic } => {
+                    let idx = fpop_int!(insn_pc);
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::HandleDeref,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                    let v = if idx >= 0 {
+                        obj.data.get(idx as usize).copied()
+                    } else {
+                        None
+                    };
+                    match v {
+                        Some(v) => frame.stack.push(v),
+                        None => fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.index_oob,
+                                value: None,
+                            },
+                            insn_pc
+                        ),
+                    }
+                }
+                Op::AStore { ic } => {
+                    let v = fpop!(insn_pc);
+                    let idx = fpop_int!(insn_pc);
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::HandleDeref,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    self.write_barrier(h, v);
+                    let stored = {
+                        let obj = self.heap.get_mut(h).ok_or(VmError::InvalidHandle)?;
+                        let cell = if idx >= 0 {
+                            obj.data.get_mut(idx as usize)
+                        } else {
+                            None
+                        };
+                        match cell {
+                            Some(cell) => {
+                                *cell = v;
+                                true
+                            }
+                            None => false,
+                        }
+                    };
+                    if !stored {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.index_oob,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    }
+                }
+                Op::ArrayLen { ic } => {
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::HandleDeref,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                    frame.stack.push(Value::Int(obj.data.len() as i64));
+                }
+                Op::InstanceOf(class) => {
+                    let v = fpop!(insn_pc);
+                    let r = match v.as_ref_nullable()? {
+                        Some(h) => {
+                            let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                            self.program.is_subclass(obj.class, class)
+                        }
+                        None => false,
+                    };
+                    frame.stack.push(Value::Int(r as i64));
+                }
+                Op::GetStatic(s) => {
+                    let v = self.statics[s.index()];
+                    frame.stack.push(v);
+                }
+                Op::PutStatic(s) => {
+                    let v = fpop!(insn_pc);
+                    self.statics[s.index()] = v;
+                }
+                Op::Call {
+                    target,
+                    nparams,
+                    is_instance,
+                    ic,
+                    cic,
+                } => {
+                    let nparams = nparams as usize;
+                    if frame.stack.len() < nparams {
+                        return Err(VmError::StackUnderflow {
+                            method: mid,
+                            pc: insn_pc,
+                        });
+                    }
+                    let args: Vec<Value> = frame.stack.split_off(frame.stack.len() - nparams);
+                    if is_instance {
+                        match args[0].as_ref_nullable()? {
+                            Some(recv) => self.fast_use(
+                                ics,
+                                observer,
+                                delivery,
+                                recv,
+                                UseKind::Invoke,
+                                mid,
+                                insn_pc,
+                                ctx,
+                                ic,
+                            ),
+                            None => fast_throw!(
+                                Thrown {
+                                    class: self.program.builtins.null_pointer,
+                                    value: None,
+                                },
+                                insn_pc
+                            ),
+                        }
+                    }
+                    frame.pc = pc as u32;
+                    let caller_ctx = ctx;
+                    self.frames.push(frame);
+                    self.push_frame_fast(pre, ics, target, args, mid, insn_pc, caller_ctx, cic)?;
+                    reload!();
+                }
+                Op::CallVirtual {
+                    vslot,
+                    argc,
+                    ic,
+                    cic,
+                    vic,
+                } => {
+                    let total = argc as usize + 1;
+                    if frame.stack.len() < total {
+                        return Err(VmError::StackUnderflow {
+                            method: mid,
+                            pc: insn_pc,
+                        });
+                    }
+                    let args: Vec<Value> = frame.stack.split_off(frame.stack.len() - total);
+                    let Some(recv) = args[0].as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        recv,
+                        UseKind::Invoke,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    let class = self.heap.get(recv).ok_or(VmError::InvalidHandle)?.class;
+                    let vt = &mut ics.vtables[vic as usize];
+                    let target = if vt.class_plus1 == class.index() as u32 + 1 {
+                        vt.target
+                    } else {
+                        let target = self.program.dispatch(class, vslot).ok_or_else(|| {
+                            VmError::InvalidBytecode {
+                                method: mid,
+                                pc: insn_pc,
+                                reason: format!(
+                                    "class {} does not respond to `{}`",
+                                    self.program.classes[class.index()].name,
+                                    self.program.selectors[vslot.index()]
+                                ),
+                            }
+                        })?;
+                        let callee = &self.program.methods[target.index()];
+                        if callee.num_params as usize != total {
+                            return Err(VmError::InvalidBytecode {
+                                method: mid,
+                                pc: insn_pc,
+                                reason: format!(
+                                    "virtual call arity mismatch: {} expects {} params, got {total}",
+                                    self.program.method_name(target),
+                                    callee.num_params
+                                ),
+                            });
+                        }
+                        *vt = VtIc {
+                            class_plus1: class.index() as u32 + 1,
+                            target,
+                        };
+                        target
+                    };
+                    frame.pc = pc as u32;
+                    let caller_ctx = ctx;
+                    self.frames.push(frame);
+                    self.push_frame_fast(pre, ics, target, args, mid, insn_pc, caller_ctx, cic)?;
+                    reload!();
+                }
+                Op::Ret | Op::RetVal => {
+                    let value = if matches!(op, Op::RetVal) {
+                        Some(fpop!(insn_pc))
+                    } else {
+                        None
+                    };
+                    match frame.kind {
+                        FrameKind::Normal | FrameKind::Finalizer => {
+                            // Finalizer frames never run on this loop
+                            // (`run_nested` drives them through `step()`),
+                            // but mirror the reference either way: a
+                            // finalizer's return value is discarded.
+                            if frame.kind == FrameKind::Normal {
+                                if let (Some(v), Some(caller)) = (value, self.frames.last_mut()) {
+                                    caller.stack.push(v);
+                                }
+                            }
+                            reload!();
+                        }
+                        FrameKind::Entry => return Ok(()),
+                    }
+                }
+                Op::MonitorEnter { ic } => {
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::MonitorEnter,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    *self.monitors.entry(h).or_insert(0) += 1;
+                }
+                Op::MonitorExit { ic } => {
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::MonitorExit,
+                        mid,
+                        insn_pc,
+                        ctx,
+                        ic,
+                    );
+                    match self.monitors.get_mut(&h) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            if *n == 0 {
+                                self.monitors.remove(&h);
+                            }
+                        }
+                        _ => return Err(VmError::UnbalancedMonitor),
+                    }
+                }
+                Op::Throw => {
+                    let Some(h) = fpop!(insn_pc).as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            insn_pc
+                        );
+                    };
+                    let class = self.heap.get(h).ok_or(VmError::InvalidHandle)?.class;
+                    fast_throw!(
+                        Thrown {
+                            class,
+                            value: Some(h),
+                        },
+                        insn_pc
+                    );
+                }
+                Op::Print => {
+                    let v = fpop!(insn_pc).as_int()?;
+                    self.output.push(v);
+                }
+                Op::Nop => {}
+
+                // --- superinstructions: each half keeps its original pc ---
+                Op::LoadGetField { local, slot, ic } => {
+                    let recv = frame.locals[local as usize];
+                    fuse_second!(OpcodeClass::Field);
+                    let gf_pc = insn_pc + 1;
+                    let Some(h) = recv.as_ref_nullable()? else {
+                        fast_throw!(
+                            Thrown {
+                                class: self.program.builtins.null_pointer,
+                                value: None,
+                            },
+                            gf_pc
+                        );
+                    };
+                    self.fast_use(
+                        ics,
+                        observer,
+                        delivery,
+                        h,
+                        UseKind::GetField,
+                        mid,
+                        gf_pc,
+                        ctx,
+                        ic,
+                    );
+                    let obj = self.heap.get(h).ok_or(VmError::InvalidHandle)?;
+                    let v =
+                        *obj.data
+                            .get(slot as usize)
+                            .ok_or_else(|| VmError::InvalidBytecode {
+                                method: mid,
+                                pc: gf_pc,
+                                reason: format!("field slot {slot} out of range"),
+                            })?;
+                    frame.stack.push(v);
+                }
+                Op::LoadLoad { a, b } => {
+                    let va = frame.locals[a as usize];
+                    frame.stack.push(va);
+                    fuse_second!(OpcodeClass::Stack);
+                    let vb = frame.locals[b as usize];
+                    frame.stack.push(vb);
+                }
+                Op::LoadPushInt { local, value } => {
+                    let v = frame.locals[local as usize];
+                    frame.stack.push(v);
+                    fuse_second!(OpcodeClass::Stack);
+                    frame.stack.push(Value::Int(value));
+                }
+                Op::LoadStore { from, to } => {
+                    let v = frame.locals[from as usize];
+                    fuse_second!(OpcodeClass::Stack);
+                    frame.locals[to as usize] = v;
+                }
+                Op::PushIntAdd { value } => {
+                    fuse_second!(OpcodeClass::Arith);
+                    let add_pc = insn_pc + 1;
+                    let a = fpop!(add_pc).as_int()?;
+                    frame.stack.push(Value::Int(a.wrapping_add(value)));
+                }
+                Op::AddStore { local } => {
+                    let b = fpop_int!(insn_pc);
+                    let a = fpop_int!(insn_pc);
+                    let r = a.wrapping_add(b);
+                    fuse_second!(OpcodeClass::Stack);
+                    frame.locals[local as usize] = Value::Int(r);
+                }
+                Op::CmpLtBranch(t) => cmp_branch!(t, <, insn_pc),
+                Op::CmpLeBranch(t) => cmp_branch!(t, <=, insn_pc),
+                Op::CmpGtBranch(t) => cmp_branch!(t, >, insn_pc),
+                Op::CmpGeBranch(t) => cmp_branch!(t, >=, insn_pc),
+            }
+        }
     }
 
     fn write_barrier(&mut self, target: Handle, value: Value) {

@@ -59,6 +59,7 @@ pub mod insn;
 pub mod interp;
 pub mod metrics;
 pub mod observer;
+pub mod predecode;
 pub mod program;
 pub mod site;
 pub mod value;
@@ -68,8 +69,8 @@ pub use builder::ProgramBuilder;
 pub use error::VmError;
 pub use ids::{ChainId, ClassId, MethodId, ObjectId, SiteId, StaticId, VSlot};
 pub use insn::{Insn, OpcodeClass};
-pub use interp::{RunOutcome, Vm, VmConfig};
+pub use interp::{InterpreterKind, RunOutcome, Vm, VmConfig};
 pub use metrics::VmMetrics;
-pub use observer::{HeapObserver, UseKind};
+pub use observer::{HeapObserver, UseDelivery, UseKind};
 pub use program::Program;
 pub use value::Value;

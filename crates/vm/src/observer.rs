@@ -104,6 +104,32 @@ pub struct GcEvent {
     pub reachable_count: u64,
 }
 
+/// How an observer wants [`HeapObserver::on_use`] events delivered.
+///
+/// Only the *fast* interpreter honors this hint; the reference interpreter
+/// always delivers per access, which is what makes it the oracle of the
+/// differential harness. Allocation, free, deep-GC, and exit events are
+/// always delivered in full regardless of the mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UseDelivery {
+    /// Deliver every use event as it happens (the reference behavior, and
+    /// the default).
+    #[default]
+    PerAccess,
+    /// Do not deliver use events at all. For observers that ignore
+    /// `on_use`, this makes the fast interpreter's use path branch-free.
+    /// Under this mode use-site chains are not interned either, so the
+    /// VM's site table may contain fewer entries than a per-access run.
+    Skip,
+    /// Deliver at most one use event per object per GC window: the *last*
+    /// use observed since the previous flush, delivered at GC safepoints
+    /// (any collection) and at program exit, with its original timestamp.
+    /// Exactly equivalent to per-access delivery for observers whose
+    /// `on_use` is last-write-wins per object (like the drag profiler's
+    /// trailer update).
+    Coalesced,
+}
+
 /// Receiver of heap events during a run.
 ///
 /// All methods have empty default bodies so observers implement only what
@@ -137,13 +163,23 @@ pub trait HeapObserver {
     fn on_exit(&mut self, time: u64) {
         let _ = time;
     }
+
+    /// How this observer wants use events delivered (a hint the fast
+    /// interpreter uses to cheapen its hot path; see [`UseDelivery`]).
+    fn use_delivery(&self) -> UseDelivery {
+        UseDelivery::PerAccess
+    }
 }
 
 /// An observer that ignores everything; the default when none is attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullObserver;
 
-impl HeapObserver for NullObserver {}
+impl HeapObserver for NullObserver {
+    fn use_delivery(&self) -> UseDelivery {
+        UseDelivery::Skip
+    }
+}
 
 /// An observer that counts events; handy in tests and smoke checks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -58,7 +58,7 @@ use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
 use heapdrag::vm::disasm::disassemble;
-use heapdrag::vm::{Program, SiteId, Vm, VmConfig as RawConfig};
+use heapdrag::vm::{InterpreterKind, Program, SiteId, Vm, VmConfig as RawConfig};
 
 const USAGE: &str = "usage:
   heapdrag run      <prog> [input ints...]
@@ -81,6 +81,9 @@ common flags:
   --metrics-out <path>   write a metrics snapshot on exit (JSON; Prometheus
                          text format if <path> ends in .prom)
   --verbose-metrics      print per-shard parse/analyze timings to stderr
+  --interpreter <kind>   VM dispatch loop for run/profile/timeline/optimize:
+                         `fast` (pre-decoded, the default) or `reference`
+                         (the step-at-a-time oracle); observably identical
 
 profile flags:
   --log-format <fmt>     trace encoding: `text` (heapdrag-log v1, the
@@ -125,6 +128,7 @@ struct Args {
     pool: Option<usize>,
     drivers: Option<usize>,
     budget_chunks: Option<u64>,
+    interpreter: InterpreterKind,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -145,6 +149,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         pool: None,
         drivers: None,
         budget_chunks: None,
+        interpreter: InterpreterKind::default(),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -208,6 +213,14 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--budget-chunks" => {
                 let v = it.next().ok_or("--budget-chunks needs a number")?;
                 args.budget_chunks = Some(v.parse().map_err(|_| "bad --budget-chunks")?);
+            }
+            "--interpreter" => {
+                let v = it.next().ok_or("--interpreter needs fast|reference")?;
+                args.interpreter = match v.as_str() {
+                    "fast" => InterpreterKind::Fast,
+                    "reference" => InterpreterKind::Reference,
+                    _ => return Err(format!("bad --interpreter `{v}` (fast|reference)")),
+                };
             }
             other => args.positional.push(other.to_string()),
         }
@@ -449,7 +462,12 @@ fn run_main() -> Result<(), String> {
         if let Some(kb) = args.interval_kb {
             c.deep_gc_interval = Some(kb * 1024);
         }
+        c.interpreter = args.interpreter;
         c
+    };
+    let plain_config = RawConfig {
+        interpreter: args.interpreter,
+        ..RawConfig::default()
     };
 
     match command.as_str() {
@@ -457,7 +475,7 @@ fn run_main() -> Result<(), String> {
             let prog_path = args.positional.first().ok_or(USAGE)?;
             let program = load_program(prog_path)?;
             let input = input_ints(&args.positional[1..])?;
-            let mut vm = Vm::new(&program, RawConfig::default());
+            let mut vm = Vm::new(&program, plain_config.clone());
             if let Some(r) = &registry {
                 vm.attach_metrics(r);
             }
@@ -588,10 +606,10 @@ fn run_main() -> Result<(), String> {
                 eprintln!("applied [{}] {}", a.kind, a.detail);
             }
             // Behavioural check before writing anything.
-            let before = Vm::new(&original, RawConfig::default())
+            let before = Vm::new(&original, plain_config.clone())
                 .run(&input)
                 .map_err(|e| e.to_string())?;
-            let after = Vm::new(&program, RawConfig::default())
+            let after = Vm::new(&program, plain_config.clone())
                 .run(&input)
                 .map_err(|e| e.to_string())?;
             if before.output != after.output {

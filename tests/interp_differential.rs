@@ -1,0 +1,142 @@
+//! Differential harness: the fast pre-decoded interpreter must be
+//! *observably identical* to the reference `step()` loop. "Observably"
+//! means everything a user of the tool can see: program output, step
+//! counts, per-opcode-class dispatch tallies, heap statistics, the
+//! profiler's object records and GC samples, and the encoded trace in
+//! both log formats — byte for byte.
+//!
+//! Two layers:
+//!
+//! 1. every built-in workload on both of its inputs (the programs the
+//!    paper's tables are built from), and
+//! 2. a seeded property sweep over random programs from
+//!    `heapdrag_testkit::genprog` — megamorphic call sites, exception
+//!    unwinds, finalizers and stack-edge shapes the workloads never hit.
+//!    Replay a failure with `TESTKIT_SEED=<seed> TESTKIT_CASES=1`.
+
+use heapdrag::core::{profile, render, DragAnalyzer, LogFormat, Pipeline, ProfileRun, VmConfig};
+use heapdrag::vm::{InterpreterKind, Program, SiteId, Vm};
+use heapdrag::workloads::all_workloads;
+use heapdrag_testkit::{check, random_program, Rng};
+
+fn with_kind(mut config: VmConfig, kind: InterpreterKind) -> VmConfig {
+    config.interpreter = kind;
+    config
+}
+
+fn encode(run: &ProfileRun, program: &Program, format: LogFormat) -> Vec<u8> {
+    let mut buf = Vec::new();
+    Pipeline::options()
+        .format(format)
+        .write_to(run, program, &mut buf)
+        .expect("encoding a profile run cannot fail on a Vec");
+    buf
+}
+
+/// Renders the end-user drag report from encoded log bytes.
+fn report(bytes: &[u8]) -> String {
+    let parsed = Pipeline::options()
+        .ingest_bytes(bytes)
+        .expect("round-trip ingest");
+    let analysis = DragAnalyzer::new().analyze(&parsed.log.records, |c| Some(SiteId(c.0)));
+    render(&analysis, &parsed.log, 10)
+}
+
+/// Asserts fast and reference interpreters agree on one (program, input,
+/// profiling-config) triple, across every observable surface.
+fn assert_profiled_parity(program: &Program, input: &[i64], config: VmConfig, what: &str) {
+    let fast = profile(program, input, with_kind(config.clone(), InterpreterKind::Fast));
+    let reference = profile(
+        program,
+        input,
+        with_kind(config, InterpreterKind::Reference),
+    );
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => {
+            assert_eq!(f.outcome, r.outcome, "{what}: outcomes differ");
+            for format in [LogFormat::Text, LogFormat::Binary] {
+                let fb = encode(&f, program, format);
+                let rb = encode(&r, program, format);
+                assert_eq!(fb, rb, "{what}: {format:?} logs are not byte-identical");
+                assert_eq!(report(&fb), report(&rb), "{what}: drag reports differ");
+            }
+        }
+        (Err(f), Err(r)) => assert_eq!(f, r, "{what}: errors differ"),
+        (f, r) => panic!(
+            "{what}: interpreters disagree on success: fast={:?} reference={:?}",
+            f.map(|p| p.outcome),
+            r.map(|p| p.outcome)
+        ),
+    }
+}
+
+/// Asserts parity of a plain (unobserved, NullObserver-path) run.
+fn assert_plain_parity(program: &Program, input: &[i64], config: VmConfig, what: &str) {
+    let fast = Vm::new(program, with_kind(config.clone(), InterpreterKind::Fast)).run(input);
+    let reference = Vm::new(program, with_kind(config, InterpreterKind::Reference)).run(input);
+    assert_eq!(fast, reference, "{what}: plain runs differ");
+}
+
+#[test]
+fn every_workload_is_interpreter_invariant() {
+    for w in all_workloads() {
+        let program = w.original();
+        for (tag, input) in [
+            ("default", (w.default_input)()),
+            ("alternate", (w.alternate_input)()),
+        ] {
+            let what = format!("{} ({tag} input)", w.name);
+            assert_plain_parity(&program, &input, VmConfig::default(), &what);
+            assert_profiled_parity(&program, &input, VmConfig::profiling(), &what);
+        }
+    }
+}
+
+/// A profiling configuration scaled down to generated-program heaps, so
+/// deep GCs (and with them finalizers, sampling, and the batched use
+/// flush) actually fire; half the cases run the generational collector.
+fn small_heap_config(generational: bool) -> VmConfig {
+    let mut c = VmConfig::profiling();
+    c.deep_gc_interval = Some(4 * 1024);
+    c.gc_trigger = Some(16 * 1024);
+    c.generational = generational;
+    c.nursery_bytes = 2 * 1024;
+    c
+}
+
+#[test]
+fn random_programs_are_interpreter_invariant() {
+    check("fast/reference differential", 256, |rng: &mut Rng| {
+        let (program, input) = random_program(rng);
+        let generational = rng.bool();
+        assert_plain_parity(&program, &input, VmConfig::default(), "random plain");
+        assert_profiled_parity(
+            &program,
+            &input,
+            small_heap_config(generational),
+            "random profiled",
+        );
+    });
+}
+
+#[test]
+fn step_budget_exhaustion_is_interpreter_invariant() {
+    // Truncating the same program at every budget N must fail (or
+    // succeed) identically — this walks the budget boundary through the
+    // middle of fused superinstruction pairs.
+    let mut rng = Rng::new(0xd1ff);
+    let (program, input, full) = loop {
+        let (p, i) = random_program(&mut rng);
+        if let Ok(o) = Vm::new(&p, VmConfig::default()).run(&i) {
+            break (p, i, o);
+        }
+    };
+    let last = full.steps;
+    for budget in (1..=last.min(64)).chain([last - 1, last, last + 1]) {
+        let config = VmConfig {
+            max_steps: Some(budget),
+            ..VmConfig::default()
+        };
+        assert_plain_parity(&program, &input, config, &format!("budget {budget}"));
+    }
+}
