@@ -32,6 +32,13 @@
 #      byte-identical logs in both formats and byte-identical reports,
 #      and the seeded random-program property suite must pass with a
 #      pinned seed (so CI failures are replayable verbatim)
+#  12. an optimize-fleet smoke: two workloads through the closed
+#      profile -> rank -> rewrite -> verify -> re-profile loop; the text
+#      scoreboard must match the committed golden byte for byte and stay
+#      byte-identical when the pool size and shard count change
+#  13. a markdown link check: every relative link in
+#      README/DESIGN/OPTIMIZER/EXPERIMENTS must point at a file that
+#      exists, so doc cross-references can't rot
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -187,5 +194,39 @@ diff -u "$tmp/diff-fast-report.txt" "$tmp/diff-reference-report.txt"
 TESTKIT_SEED=3405691582 TESTKIT_CASES=64 \
     cargo test -q --release --test interp_differential \
     random_programs_are_interpreter_invariant
+
+echo "== smoke: optimize-fleet =="
+# Two workloads through the closed loop. The scoreboard is deterministic:
+# golden-pinned, and byte-identical at any pool size / shard count. The
+# JSON carries the outcome taxonomy; the metrics snapshot reconciles.
+"$bin" optimize-fleet --workloads jess,juru --pool 2 --shards 3 \
+    --json "$tmp/fleet-optimize.json" --metrics-out "$tmp/fleet-optimize.prom" \
+    > "$tmp/fleet-optimize.txt" 2> /dev/null
+diff -u tests/golden/optimize_fleet_smoke.txt "$tmp/fleet-optimize.txt"
+"$bin" optimize-fleet --workloads jess,juru --pool 1 --shards 1 \
+    > "$tmp/fleet-optimize-b.txt" 2> /dev/null
+diff -u "$tmp/fleet-optimize.txt" "$tmp/fleet-optimize-b.txt"
+grep -q '"outcomes": {"applied": ' "$tmp/fleet-optimize.json"
+grep -q '^heapdrag_optimize_jobs_total 2$' "$tmp/fleet-optimize.prom"
+grep -q '^heapdrag_optimize_attempts_total{outcome="rejected-by-verify"} 0$' \
+    "$tmp/fleet-optimize.prom"
+
+echo "== docs: markdown link check =="
+# Every relative link target in the doc set must exist (http/mailto and
+# pure in-page #anchors are skipped).
+for doc in README.md DESIGN.md OPTIMIZER.md EXPERIMENTS.md; do
+    [ -f "$doc" ] || { echo "missing doc: $doc" >&2; exit 1; }
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        target="${target%%#*}"
+        [ -z "$target" ] && continue
+        if [ ! -e "$target" ]; then
+            echo "$doc: broken link -> $target" >&2
+            exit 1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
 
 echo "== ok =="

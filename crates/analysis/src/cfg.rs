@@ -1,4 +1,6 @@
-//! Per-method control-flow graphs at instruction granularity.
+//! Per-method control-flow graphs at instruction granularity — the
+//! substrate every §5 dataflow analysis (liveness, reaching, types)
+//! iterates over.
 //!
 //! Methods in this VM are small, so the dataflow analyses run directly over
 //! instructions; the [`Cfg`] precomputes successor and predecessor lists,

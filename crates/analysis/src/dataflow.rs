@@ -1,4 +1,6 @@
-//! A small bit-set lattice and a generic worklist dataflow solver.
+//! A small bit-set lattice and a generic worklist dataflow solver — the
+//! shared engine under the §5.1 analyses (liveness, reaching definitions)
+//! that direct the paper's rewritings.
 
 use heapdrag_vm::class::Method;
 

@@ -1,0 +1,56 @@
+//! Fleet optimization (ours) — the paper's loop closed mechanically:
+//! profile → rank → rewrite → verify → re-profile over all nine
+//! workloads × both inputs, on the worker pool. Prints the markdown
+//! table for EXPERIMENTS.md ("Fleet optimization") plus the plain-text
+//! scoreboard `heapdrag optimize-fleet` would show.
+
+use heapdrag::fleet::{optimize_fleet, FleetOptions, InputSelection};
+use heapdrag::transform::RewriteOutcome;
+use heapdrag_core::pattern::TransformKind;
+
+fn mb2(v: u128) -> f64 {
+    v as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let options = FleetOptions {
+        inputs: InputSelection::Both,
+        shards: 4,
+        pool_workers: 4,
+        ..FleetOptions::default()
+    };
+    let board = optimize_fleet(&options, None).expect("fleet runs");
+    assert!(
+        board.jobs.iter().all(|j| j.error.is_none()),
+        "fleet jobs failed:\n{}",
+        board.render_text()
+    );
+
+    println!("=== Fleet optimization: drag reclaimed per workload ===\n");
+    println!(
+        "| workload | input | drag before (MB²) | drag after (MB²) | reclaimed | applied (an/dc/la) | rej-analysis | rej-verify | no-op |"
+    );
+    println!(
+        "|----------|-------|------------------:|-----------------:|----------:|-------------------:|-------------:|-----------:|------:|"
+    );
+    for j in &board.jobs {
+        println!(
+            "| {} | {} | {:.1} | {:.1} | {:.1}% | {} ({}/{}/{}) | {} | {} | {} |",
+            j.workload,
+            j.input,
+            mb2(j.drag_before()),
+            mb2(j.drag_after()),
+            j.reduction_pct(),
+            j.applied.len(),
+            j.applied_of_kind(TransformKind::AssignNull),
+            j.applied_of_kind(TransformKind::DeadCodeRemoval),
+            j.applied_of_kind(TransformKind::LazyAllocation),
+            j.outcome_count(RewriteOutcome::RejectedByAnalysis),
+            j.outcome_count(RewriteOutcome::RejectedByVerify),
+            j.outcome_count(RewriteOutcome::NoOp),
+        );
+    }
+
+    println!("\n--- raw scoreboard ---\n");
+    print!("{}", board.render_text());
+}

@@ -13,6 +13,7 @@
 //! | `table5_rewritings` | Table 5 — summary of rewritings |
 //! | `ablation_auto_vs_manual` | (ours) §5 automation vs manual rewrites |
 //! | `ablation_gc_interval` | (ours) §2.1.1 deep-GC interval precision |
+//! | `optimize_fleet` | (ours) fleet-wide drag reclaimed by the closed loop |
 
 #![warn(missing_docs)]
 

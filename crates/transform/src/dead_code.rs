@@ -6,6 +6,43 @@
 //! Exception safety follows §5.5: the removed `new` could only have thrown
 //! `OutOfMemoryError`, so removal requires that no reachable handler could
 //! observe it.
+//!
+//! ```
+//! use heapdrag_transform::{check_equivalence, remove_all_dead_allocations, Equivalence};
+//! use heapdrag_vm::class::Visibility;
+//! use heapdrag_vm::ProgramBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An object that is constructed, stored… and never read: the paper's
+//! // "all never-used" pattern, eligible for removal outright.
+//! let mut b = ProgramBuilder::new();
+//! let shade = b.begin_class("Shade").field("v", Visibility::Private).finish();
+//! let init = b.declare_method("init", Some(shade), false, 2, 2);
+//! {
+//!     let mut m = b.begin_body(init);
+//!     m.load(0).load(1).putfield(0);
+//!     m.ret();
+//!     m.finish();
+//! }
+//! let main = b.declare_method("main", None, true, 1, 2);
+//! {
+//!     let mut m = b.begin_body(main);
+//!     m.new_obj(shade).dup().store(1).push_int(5).call(init); // never used
+//!     m.push_int(99).print();
+//!     m.ret();
+//!     m.finish();
+//! }
+//! b.set_entry(main);
+//! let original = b.finish()?;
+//!
+//! let mut revised = original.clone();
+//! let removed = remove_all_dead_allocations(&mut revised);
+//! assert_eq!(removed.len(), 1, "the dead Shade allocation is removed");
+//! revised.link()?;
+//! assert_eq!(check_equivalence(&original, &revised, &[vec![]])?, Equivalence::Same);
+//! # Ok(())
+//! # }
+//! ```
 
 use heapdrag_analysis::callgraph::CallGraph;
 use heapdrag_analysis::exceptions::{may_throw, HandlerSet};

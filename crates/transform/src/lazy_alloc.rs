@@ -2,6 +2,69 @@
 //! stored into a field by a constructor is removed from the constructor
 //! (the field starts null) and re-created by a guard inserted before every
 //! possible first use — §5.1's minimal code insertion.
+//!
+//! ```
+//! use heapdrag_transform::{check_equivalence, lazy_allocate_program, Equivalence};
+//! use heapdrag_vm::class::Visibility;
+//! use heapdrag_vm::ProgramBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The jack shape: a constructor eagerly builds a table that is only
+//! // read when the input demands it.
+//! let mut b = ProgramBuilder::new();
+//! let table = b.begin_class("Table").field("n", Visibility::Private).finish();
+//! let table_init = b.declare_method("init", Some(table), false, 1, 1);
+//! {
+//!     let mut m = b.begin_body(table_init);
+//!     m.load(0).push_int(1).putfield(0);
+//!     m.ret();
+//!     m.finish();
+//! }
+//! let parser = b.begin_class("Parser").field("table", Visibility::Package).finish();
+//! let parser_init = b.declare_method("init", Some(parser), false, 1, 1);
+//! {
+//!     let mut m = b.begin_body(parser_init);
+//!     m.load(0);
+//!     m.new_obj(table).dup().call(table_init); // eager: made lazy below
+//!     m.putfield_named(parser, "table");
+//!     m.ret();
+//!     m.finish();
+//! }
+//! let lookup = b.declare_method("lookup", Some(parser), false, 1, 1);
+//! {
+//!     let mut m = b.begin_body(lookup);
+//!     m.load(0).getfield_named(parser, "table");
+//!     m.getfield_named(table, "n");
+//!     m.ret_val();
+//!     m.finish();
+//! }
+//! let main = b.declare_method("main", None, true, 1, 2);
+//! {
+//!     let mut m = b.begin_body(main);
+//!     m.new_obj(parser).dup().store(1).call(parser_init);
+//!     m.load(0).push_int(0).aload().branch("use_it");
+//!     m.push_int(0).print();
+//!     m.jump("end");
+//!     m.label("use_it");
+//!     m.load(1).call_virtual("lookup", 0).print();
+//!     m.label("end");
+//!     m.ret();
+//!     m.finish();
+//! }
+//! b.set_entry(main);
+//! let original = b.finish()?;
+//!
+//! let mut revised = original.clone();
+//! let applied = lazy_allocate_program(&mut revised);
+//! assert_eq!(applied.len(), 1, "the eager table is now guard-allocated");
+//! revised.link()?;
+//!
+//! // Output preserved whether the table is demanded or not.
+//! let verdict = check_equivalence(&original, &revised, &[vec![0], vec![1]])?;
+//! assert_eq!(verdict, Equivalence::Same);
+//! # Ok(())
+//! # }
+//! ```
 
 use heapdrag_analysis::callgraph::CallGraph;
 use heapdrag_analysis::lazy_points::{

@@ -60,5 +60,8 @@ pub use assign_null::{assign_null_method, assign_null_program};
 pub use dead_code::{remove_all_dead_allocations, remove_dead_allocation, DeadCodeContext};
 pub use error::TransformError;
 pub use lazy_alloc::{apply_lazy_allocation, find_lazy_candidates, lazy_allocate_program};
-pub use optimizer::{optimize, AppliedTransform, OptimizationOutcome, OptimizerOptions};
+pub use optimizer::{
+    optimize, optimize_iteratively, optimize_site, AppliedTransform, OptimizationOutcome,
+    OptimizeState, OptimizerOptions, RewriteOutcome, SiteAttempt, SiteStep,
+};
 pub use verify::{check_equivalence, Equivalence};

@@ -2,10 +2,26 @@
 //! mechanically. Given a drag profile, walk the allocation sites from
 //! largest drag down and apply the transformation the site's lifetime
 //! pattern suggests, with every safety check of the static analyses.
+//!
+//! Two levels of API:
+//!
+//! * [`optimize`] / [`optimize_iteratively`] — the whole-report drivers:
+//!   walk every ranked site in one call (optionally looping
+//!   profile → rewrite → re-profile rounds).
+//! * [`optimize_site`] — one site at a time, threading an explicit
+//!   [`OptimizeState`] between calls. This is the building block the
+//!   fleet driver uses to make each rewrite *transactional*: clone the
+//!   program, attempt one site, verify equivalence, and commit or revert.
+//!
+//! Every visited site produces a [`SiteAttempt`] carrying the stable
+//! outcome taxonomy ([`RewriteOutcome`]): `applied`,
+//! `rejected-by-analysis`, `rejected-by-verify` (assigned by callers that
+//! run an output-differential check, e.g. the fleet driver), or `no-op`.
 
 use std::collections::HashSet;
+use std::fmt;
 
-use heapdrag_core::analyzer::DragReport;
+use heapdrag_core::analyzer::{DragReport, NestedSiteEntry};
 use heapdrag_core::pattern::{LifetimePattern, TransformKind};
 use heapdrag_core::profiler::ProfileRun;
 use heapdrag_vm::ids::{ChainId, MethodId};
@@ -44,6 +60,62 @@ pub struct AppliedTransform {
     pub detail: String,
 }
 
+/// How a per-site rewrite attempt ended — the stable outcome taxonomy.
+///
+/// The string forms (via [`Display`](fmt::Display) or
+/// [`as_str`](RewriteOutcome::as_str)) are part of the scoreboard and
+/// metrics contract and must not change:
+/// `applied` / `rejected-by-analysis` / `rejected-by-verify` / `no-op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RewriteOutcome {
+    /// The suggested rewriting (or its safe fallback) changed the program.
+    Applied,
+    /// A §5 static analysis refused the rewrite as potentially unsafe.
+    RejectedByAnalysis,
+    /// The rewrite was applied but an output-differential check showed a
+    /// behaviour change, so it was reverted. Never produced by
+    /// [`optimize_site`] itself — assigned by callers that verify (the
+    /// fleet driver, `heapdrag optimize-fleet`).
+    RejectedByVerify,
+    /// Nothing to do at this site (pattern suggests no rewrite, no dead
+    /// locals found, or the method was already rewritten this round).
+    NoOp,
+}
+
+impl RewriteOutcome {
+    /// The stable string form used in scoreboards and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RewriteOutcome::Applied => "applied",
+            RewriteOutcome::RejectedByAnalysis => "rejected-by-analysis",
+            RewriteOutcome::RejectedByVerify => "rejected-by-verify",
+            RewriteOutcome::NoOp => "no-op",
+        }
+    }
+}
+
+impl fmt::Display for RewriteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The record of one ranked site's visit: which pattern it exhibited,
+/// which rewriting the decision table chose, and how the attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteAttempt {
+    /// The profiled allocation site (nested chain).
+    pub site: ChainId,
+    /// The lifetime pattern the analyzer classified the site as.
+    pub pattern: LifetimePattern,
+    /// The rewriting the pattern → transform decision table selected.
+    pub chosen: TransformKind,
+    /// How the attempt ended.
+    pub outcome: RewriteOutcome,
+    /// Human-readable detail (what changed, or why not).
+    pub detail: String,
+}
+
 /// The optimizer's report.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OptimizationOutcome {
@@ -52,19 +124,45 @@ pub struct OptimizationOutcome {
     /// Sites visited whose suggested rewriting was refused by a safety
     /// check (site, reason).
     pub refused: Vec<(ChainId, String)>,
+    /// One entry per ranked site visited, carrying the stable outcome
+    /// taxonomy. Superset of the information in `applied`/`refused`.
+    pub attempts: Vec<SiteAttempt>,
+}
+
+/// Cross-site state for one optimization round.
+///
+/// Pc-shifting rewrites (dead-code removal, lazy allocation, null-store
+/// insertion) invalidate the profiled pcs of the methods they touch;
+/// the state records those methods so later sites in the same round skip
+/// them. Clone it before a tentative [`optimize_site`] call to make the
+/// attempt revertible.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeState {
+    nulled: HashSet<MethodId>,
+    shifted: HashSet<MethodId>,
+}
+
+/// The result of one [`optimize_site`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStep {
+    /// The taxonomy record for this site.
+    pub attempt: SiteAttempt,
+    /// Transformations applied at this site (possibly a fallback kind).
+    pub applied: Vec<AppliedTransform>,
+    /// Refusal reasons recorded at this site.
+    pub refused: Vec<(ChainId, String)>,
 }
 
 fn assign_null_chain(
     program: &mut Program,
     run: &ProfileRun,
     site: ChainId,
-    nulled: &mut HashSet<MethodId>,
-    shifted: &mut HashSet<MethodId>,
+    state: &mut OptimizeState,
 ) -> usize {
     let mut inserted = 0usize;
     for s in run.sites.chain(site) {
         let m = run.sites.site(*s).method;
-        if nulled.contains(&m) || shifted.contains(&m) {
+        if state.nulled.contains(&m) || state.shifted.contains(&m) {
             continue;
         }
         if let Ok(n) = assign_null_method(program, m) {
@@ -72,12 +170,193 @@ fn assign_null_chain(
             if n > 0 {
                 // Insertions shift pcs; stale profiled pcs in this method
                 // must not be rewritten further this round.
-                shifted.insert(m);
+                state.shifted.insert(m);
             }
         }
-        nulled.insert(m);
+        state.nulled.insert(m);
     }
     inserted
+}
+
+/// Attempts the pattern-appropriate rewriting at one ranked site.
+///
+/// `program` must be the program that produced `run` (profiled pcs are
+/// looked up in it). On return the program may have been rewritten
+/// in place — callers that need transactionality should clone `program`
+/// (and `state`) first and commit or discard the pair based on
+/// [`SiteStep::attempt`]. After committing, relink via `Program::link`.
+pub fn optimize_site(
+    program: &mut Program,
+    run: &ProfileRun,
+    entry: &NestedSiteEntry,
+    state: &mut OptimizeState,
+) -> SiteStep {
+    let pattern = entry.stats.pattern;
+    let chosen = pattern.suggested_transform();
+    let mut step = SiteStep {
+        attempt: SiteAttempt {
+            site: entry.site,
+            pattern,
+            chosen,
+            outcome: RewriteOutcome::NoOp,
+            detail: String::new(),
+        },
+        applied: Vec::new(),
+        refused: Vec::new(),
+    };
+    let mut resolve = |outcome: RewriteOutcome, detail: String| {
+        step.attempt.outcome = outcome;
+        step.attempt.detail = detail;
+    };
+
+    let Some(site_id) = run.sites.innermost(entry.site) else {
+        resolve(
+            RewriteOutcome::NoOp,
+            "site has no resolvable innermost frame".into(),
+        );
+        return step;
+    };
+    let info = run.sites.site(site_id);
+    let (method, pc) = (info.method, info.pc);
+
+    match chosen {
+        TransformKind::DeadCodeRemoval => {
+            if state.shifted.contains(&method) {
+                step.refused
+                    .push((entry.site, "method already rewritten this round".into()));
+                resolve(
+                    RewriteOutcome::NoOp,
+                    "method already rewritten this round".into(),
+                );
+                return step;
+            }
+            let ctx = DeadCodeContext::build(program);
+            match remove_dead_allocation(program, &ctx, method, pc) {
+                Ok(r) => {
+                    state.shifted.insert(method);
+                    let detail = format!(
+                        "removed allocation at {}@{}{}",
+                        program.method_name(method),
+                        r.pc,
+                        match r.ctor_call {
+                            Some(c) => format!(" (+ constructor call at {c})"),
+                            None => String::new(),
+                        }
+                    );
+                    step.applied.push(AppliedTransform {
+                        site: entry.site,
+                        kind: TransformKind::DeadCodeRemoval,
+                        detail: detail.clone(),
+                    });
+                    resolve(RewriteOutcome::Applied, detail);
+                }
+                Err(e) => {
+                    step.refused.push((entry.site, e.to_string()));
+                    // Fall back to the always-safe rewrite.
+                    let n = assign_null_chain(program, run, entry.site, state);
+                    if n > 0 {
+                        let detail =
+                            format!("fallback: inserted {n} null store(s) on the call chain");
+                        step.applied.push(AppliedTransform {
+                            site: entry.site,
+                            kind: TransformKind::AssignNull,
+                            detail: detail.clone(),
+                        });
+                        resolve(RewriteOutcome::Applied, format!("{e}; {detail}"));
+                    } else {
+                        resolve(
+                            RewriteOutcome::RejectedByAnalysis,
+                            format!("{e}; fallback inserted nothing"),
+                        );
+                    }
+                }
+            }
+        }
+        TransformKind::LazyAllocation => {
+            if state.shifted.contains(&method) {
+                step.refused
+                    .push((entry.site, "method already rewritten this round".into()));
+                resolve(
+                    RewriteOutcome::NoOp,
+                    "method already rewritten this round".into(),
+                );
+                return step;
+            }
+            let callgraph = heapdrag_analysis::CallGraph::build(program);
+            let purity = heapdrag_analysis::Purity::build(program, &callgraph);
+            // §3.4's anchor walk: the innermost frame is usually inside
+            // library code (e.g. the array allocation in Vector.init);
+            // walk the chain outwards to the first frame holding a
+            // rewritable constructor shape around its call site.
+            let candidate = run
+                .sites
+                .chain(entry.site)
+                .iter()
+                .filter(|s| !state.shifted.contains(&run.sites.site(**s).method))
+                .find_map(|s| {
+                    let info = run.sites.site(*s);
+                    find_lazy_candidates(program, &purity, info.method)
+                        .into_iter()
+                        .find(|c| c.alloc_pc <= info.pc && info.pc <= c.store_pc)
+                });
+            match candidate.as_ref() {
+                Some(c) => match apply_lazy_allocation(program, c) {
+                    Ok(applied) => {
+                        state.shifted.insert(method);
+                        state.shifted.insert(c.ctor);
+                        for g in &applied.guards {
+                            state.shifted.insert(g.method);
+                        }
+                        let detail = format!(
+                            "delayed allocation of field slot {} of {} ({} guard(s))",
+                            c.slot,
+                            program.classes[c.class.index()].name,
+                            applied.guards.len()
+                        );
+                        step.applied.push(AppliedTransform {
+                            site: entry.site,
+                            kind: TransformKind::LazyAllocation,
+                            detail: detail.clone(),
+                        });
+                        resolve(RewriteOutcome::Applied, detail);
+                    }
+                    Err(e) => {
+                        step.refused.push((entry.site, e.to_string()));
+                        resolve(RewriteOutcome::RejectedByAnalysis, e.to_string());
+                    }
+                },
+                None => {
+                    let reason = "no lazy-allocation candidate at this site".to_string();
+                    step.refused.push((entry.site, reason.clone()));
+                    resolve(RewriteOutcome::RejectedByAnalysis, reason);
+                }
+            }
+        }
+        TransformKind::AssignNull => {
+            // Null dead references in every method on the call chain —
+            // the §3.4 anchor walk.
+            let inserted = assign_null_chain(program, run, entry.site, state);
+            if inserted > 0 {
+                let detail = format!("inserted {inserted} null store(s) on the call chain");
+                step.applied.push(AppliedTransform {
+                    site: entry.site,
+                    kind: TransformKind::AssignNull,
+                    detail: detail.clone(),
+                });
+                resolve(RewriteOutcome::Applied, detail);
+            } else {
+                let reason = "no dead reference locals found".to_string();
+                step.refused.push((entry.site, reason.clone()));
+                resolve(RewriteOutcome::NoOp, reason);
+            }
+        }
+        TransformKind::NoTransformation => {
+            let reason = format!("pattern `{}` suggests no rewrite", pattern);
+            step.refused.push((entry.site, reason.clone()));
+            resolve(RewriteOutcome::NoOp, reason);
+        }
+    }
+    step
 }
 
 /// Rewrites `program` in place, guided by `run`/`report`.
@@ -94,151 +373,20 @@ pub fn optimize(
 ) -> OptimizationOutcome {
     let mut outcome = OptimizationOutcome::default();
     let total_drag = report.total_drag().max(1);
-    let mut nulled_methods: HashSet<MethodId> = HashSet::new();
-    // Dead-code removal and lazy allocation both shift pcs; since profiled
-    // pcs refer to the original program, apply at most one pc-shifting
-    // transform per method, then stop touching that method.
-    let mut shifted_methods: HashSet<MethodId> = HashSet::new();
+    let mut state = OptimizeState::default();
 
     for entry in report.by_nested_site.iter().take(options.max_sites) {
         let share = entry.stats.drag as f64 / total_drag as f64;
         if share < options.min_drag_share {
             break;
         }
-        let Some(site_id) = run.sites.innermost(entry.site) else {
+        if run.sites.innermost(entry.site).is_none() {
             continue;
-        };
-        let info = run.sites.site(site_id);
-        let (method, pc) = (info.method, info.pc);
-
-        match entry.stats.pattern.suggested_transform() {
-            TransformKind::DeadCodeRemoval => {
-                if shifted_methods.contains(&method) {
-                    outcome
-                        .refused
-                        .push((entry.site, "method already rewritten this round".into()));
-                    continue;
-                }
-                let ctx = DeadCodeContext::build(program);
-                match remove_dead_allocation(program, &ctx, method, pc) {
-                    Ok(r) => {
-                        shifted_methods.insert(method);
-                        outcome.applied.push(AppliedTransform {
-                            site: entry.site,
-                            kind: TransformKind::DeadCodeRemoval,
-                            detail: format!(
-                                "removed allocation at {}@{}{}",
-                                program.method_name(method),
-                                r.pc,
-                                match r.ctor_call {
-                                    Some(c) => format!(" (+ constructor call at {c})"),
-                                    None => String::new(),
-                                }
-                            ),
-                        });
-                    }
-                    Err(e) => {
-                        outcome.refused.push((entry.site, e.to_string()));
-                        // Fall back to the always-safe rewrite.
-                        let n = assign_null_chain(
-                            program,
-                            run,
-                            entry.site,
-                            &mut nulled_methods,
-                            &mut shifted_methods,
-                        );
-                        if n > 0 {
-                            outcome.applied.push(AppliedTransform {
-                                site: entry.site,
-                                kind: TransformKind::AssignNull,
-                                detail: format!(
-                                    "fallback: inserted {n} null store(s) on the call chain"
-                                ),
-                            });
-                        }
-                    }
-                }
-            }
-            TransformKind::LazyAllocation => {
-                if shifted_methods.contains(&method) {
-                    outcome
-                        .refused
-                        .push((entry.site, "method already rewritten this round".into()));
-                    continue;
-                }
-                let callgraph = heapdrag_analysis::CallGraph::build(program);
-                let purity = heapdrag_analysis::Purity::build(program, &callgraph);
-                // §3.4's anchor walk: the innermost frame is usually inside
-                // library code (e.g. the array allocation in Vector.init);
-                // walk the chain outwards to the first frame holding a
-                // rewritable constructor shape around its call site.
-                let candidate = run
-                    .sites
-                    .chain(entry.site)
-                    .iter()
-                    .filter(|s| !shifted_methods.contains(&run.sites.site(**s).method))
-                    .find_map(|s| {
-                        let info = run.sites.site(*s);
-                        find_lazy_candidates(program, &purity, info.method)
-                            .into_iter()
-                            .find(|c| c.alloc_pc <= info.pc && info.pc <= c.store_pc)
-                    });
-                match candidate.as_ref() {
-                    Some(c) => match apply_lazy_allocation(program, c) {
-                        Ok(applied) => {
-                            shifted_methods.insert(method);
-                            shifted_methods.insert(c.ctor);
-                            for g in &applied.guards {
-                                shifted_methods.insert(g.method);
-                            }
-                            outcome.applied.push(AppliedTransform {
-                                site: entry.site,
-                                kind: TransformKind::LazyAllocation,
-                                detail: format!(
-                                    "delayed allocation of field slot {} of {} ({} guard(s))",
-                                    c.slot,
-                                    program.classes[c.class.index()].name,
-                                    applied.guards.len()
-                                ),
-                            });
-                        }
-                        Err(e) => outcome.refused.push((entry.site, e.to_string())),
-                    },
-                    None => outcome.refused.push((
-                        entry.site,
-                        "no lazy-allocation candidate at this site".into(),
-                    )),
-                }
-            }
-            TransformKind::AssignNull => {
-                // Null dead references in every method on the call chain —
-                // the §3.4 anchor walk.
-                let inserted = assign_null_chain(
-                    program,
-                    run,
-                    entry.site,
-                    &mut nulled_methods,
-                    &mut shifted_methods,
-                );
-                if inserted > 0 {
-                    outcome.applied.push(AppliedTransform {
-                        site: entry.site,
-                        kind: TransformKind::AssignNull,
-                        detail: format!("inserted {inserted} null store(s) on the call chain"),
-                    });
-                } else {
-                    outcome
-                        .refused
-                        .push((entry.site, "no dead reference locals found".into()));
-                }
-            }
-            TransformKind::NoTransformation => {
-                outcome.refused.push((
-                    entry.site,
-                    format!("pattern `{}` suggests no rewrite", entry.stats.pattern),
-                ));
-            }
         }
+        let step = optimize_site(program, run, entry, &mut state);
+        outcome.applied.extend(step.applied);
+        outcome.refused.extend(step.refused);
+        outcome.attempts.push(step.attempt);
     }
     let _ = LifetimePattern::Mixed; // referenced for doc-link stability
     outcome
@@ -249,6 +397,44 @@ pub fn optimize(
 /// reduction; in that case, another cycle of code rewriting and applying
 /// the tool took place"). Re-profiling also refreshes site pcs after
 /// pc-shifting rewrites. Stops early when a round applies nothing.
+///
+/// ```
+/// use heapdrag_transform::{optimize_iteratively, OptimizerOptions};
+/// use heapdrag_vm::interp::{Vm, VmConfig};
+/// use heapdrag_vm::ProgramBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// let main = b.declare_method("main", None, true, 1, 2);
+/// {
+///     let mut m = b.begin_body(main);
+///     m.push_int(4000).new_array().store(1); // big buffer…
+///     m.load(1).push_int(0).push_int(7).astore();
+///     m.load(1).push_int(0).aload().print(); // …last used here…
+///     m.push_int(64).new_array().pop(); // …drags across this allocation
+///     m.ret();
+///     m.finish();
+/// }
+/// b.set_entry(main);
+/// let original = b.finish()?;
+///
+/// let mut revised = original.clone();
+/// let outcome = optimize_iteratively(
+///     &mut revised,
+///     &[],
+///     VmConfig::profiling(),
+///     OptimizerOptions::default(),
+///     3,
+/// )?;
+/// assert!(!outcome.applied.is_empty(), "the dragged buffer gets a rewrite");
+///
+/// // Behaviour is preserved: same output on the original input.
+/// let o1 = Vm::new(&original, VmConfig::default()).run(&[])?.output;
+/// let o2 = Vm::new(&revised, VmConfig::default()).run(&[])?.output;
+/// assert_eq!(o1, o2);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
@@ -270,6 +456,7 @@ pub fn optimize_iteratively(
         let progressed = !outcome.applied.is_empty();
         combined.applied.extend(outcome.applied);
         combined.refused.extend(outcome.refused);
+        combined.attempts.extend(outcome.attempts);
         if !progressed {
             break;
         }
@@ -379,5 +566,65 @@ mod tests {
             },
         );
         assert!(outcome.applied.is_empty());
+        assert!(outcome.attempts.is_empty());
+    }
+
+    #[test]
+    fn attempts_carry_the_stable_taxonomy() {
+        let original = mixed_program();
+        let run = profile(&original, &[], VmConfig::profiling()).unwrap();
+        let report = DragAnalyzer::new().analyze(&run.records, |ch| run.sites.innermost(ch));
+        let mut revised = original.clone();
+        let outcome = optimize(&mut revised, &run, &report, OptimizerOptions::default());
+
+        // Every applied transform's site has an `applied` attempt, every
+        // refused-only site a non-applied one.
+        assert_eq!(
+            outcome
+                .attempts
+                .iter()
+                .filter(|a| a.outcome == RewriteOutcome::Applied)
+                .count(),
+            outcome.applied.len(),
+            "attempts: {:?}",
+            outcome.attempts
+        );
+        for a in &outcome.attempts {
+            // The string forms are a stable contract.
+            assert!(matches!(
+                a.outcome.as_str(),
+                "applied" | "rejected-by-analysis" | "rejected-by-verify" | "no-op"
+            ));
+            assert!(!a.detail.is_empty(), "attempt lacks detail: {a:?}");
+        }
+    }
+
+    #[test]
+    fn per_site_steps_compose_to_the_whole_report_walk() {
+        let original = mixed_program();
+        let run = profile(&original, &[], VmConfig::profiling()).unwrap();
+        let report = DragAnalyzer::new().analyze(&run.records, |ch| run.sites.innermost(ch));
+
+        let mut whole = original.clone();
+        let expected = optimize(&mut whole, &run, &report, OptimizerOptions::default());
+
+        let options = OptimizerOptions::default();
+        let mut stepped = original.clone();
+        let mut state = OptimizeState::default();
+        let mut got = OptimizationOutcome::default();
+        let total = report.total_drag().max(1);
+        for entry in report.by_nested_site.iter().take(options.max_sites) {
+            if (entry.stats.drag as f64 / total as f64) < options.min_drag_share {
+                break;
+            }
+            if run.sites.innermost(entry.site).is_none() {
+                continue;
+            }
+            let step = optimize_site(&mut stepped, &run, entry, &mut state);
+            got.applied.extend(step.applied);
+            got.refused.extend(step.refused);
+            got.attempts.push(step.attempt);
+        }
+        assert_eq!(expected, got);
     }
 }

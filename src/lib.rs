@@ -60,6 +60,8 @@
 //! # }
 //! ```
 
+pub mod fleet;
+
 pub use heapdrag_analysis as analysis;
 pub use heapdrag_core as core;
 pub use heapdrag_lang as lang;

@@ -7,6 +7,7 @@
 //! heapdrag report   <log file | -> [--top N] [--shards N] [--chunk-records N]
 //! heapdrag timeline <prog.hdasm> [input ints…]
 //! heapdrag optimize <prog.hdasm> -o <out.hdasm> [input ints…]
+//! heapdrag optimize-fleet [--workloads a,b,…] [--rounds N] [--pool N] [--json <path>]
 //! ```
 //!
 //! `profile --log-format binary` writes the compact HDLOG v2 frame format
@@ -49,6 +50,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use heapdrag::core::log::{IngestConfig, IngestMode, SalvageSummary};
+use heapdrag::fleet::{optimize_fleet, FleetOptions, InputSelection};
 use heapdrag::core::serve::submit_spool;
 use heapdrag::core::{
     profile_with, render, LogFormat, ParallelConfig, Pipeline, ServeConfig, ServeManager,
@@ -70,6 +72,9 @@ const USAGE: &str = "usage:
   heapdrag inspect  <log file | -> <rank> [--shards N]   (lifetime histograms of the rank-th site)
   heapdrag timeline <prog> [input ints...]
   heapdrag optimize <prog> -o <out.hdasm> [input ints...]
+  heapdrag optimize-fleet [--workloads <a,b,...>] [--input default|alternate|both]
+                    [--rounds N] [--pool N] [--shards N] [--chunk-records N]
+                    [--json <path>] [--out-dir <dir>]
   heapdrag serve    [--spool <dir>] [--socket <path>] [--pool N] [--drivers N]
                     [--budget-chunks N] [--top N] (+ log ingestion flags)
   heapdrag submit   <socket> <log file | -> [--name NAME] [--shards N]
@@ -96,6 +101,19 @@ log ingestion flags (report / analyze / inspect):
                          and append a salvage summary to the report
   --max-errors <N>       with --salvage: fail with E008 when more than N
                          errors accumulate
+
+optimize-fleet flags:
+  --workloads <a,b,...>  comma-separated benchmark names (default: all nine)
+  --input <which>        profile the `default` (Table 2) input, the
+                         `alternate` (Table 3) one, or `both` as separate jobs
+  --rounds <N>           max profile -> rewrite -> re-profile rounds per job
+  --pool <N>             fleet worker threads (one job per workload x input)
+  --json <path>          also write the scoreboard as stable JSON
+  --out-dir <dir>        write each verified optimized program as
+                         <workload>-<input>.hdasm (rejected rewrites never
+                         reach disk)
+  --shards/--chunk-records shard the per-job ranking pipeline; the
+                         scoreboard is byte-identical at any setting
 
 serve flags:
   --spool <dir>          submit every file in <dir> as a session, then (if
@@ -129,6 +147,11 @@ struct Args {
     drivers: Option<usize>,
     budget_chunks: Option<u64>,
     interpreter: InterpreterKind,
+    workloads: Vec<String>,
+    rounds: Option<usize>,
+    input_sel: Option<String>,
+    json_out: Option<String>,
+    out_dir: Option<String>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -150,6 +173,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         drivers: None,
         budget_chunks: None,
         interpreter: InterpreterKind::default(),
+        workloads: Vec::new(),
+        rounds: None,
+        input_sel: None,
+        json_out: None,
+        out_dir: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -213,6 +241,24 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--budget-chunks" => {
                 let v = it.next().ok_or("--budget-chunks needs a number")?;
                 args.budget_chunks = Some(v.parse().map_err(|_| "bad --budget-chunks")?);
+            }
+            "--workloads" => {
+                let v = it.next().ok_or("--workloads needs a comma-separated list")?;
+                args.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a number")?;
+                args.rounds = Some(v.parse().map_err(|_| "bad --rounds")?);
+            }
+            "--input" => {
+                args.input_sel =
+                    Some(it.next().ok_or("--input needs default|alternate|both")?.clone());
+            }
+            "--json" => {
+                args.json_out = Some(it.next().ok_or("--json needs a path")?.clone());
+            }
+            "--out-dir" => {
+                args.out_dir = Some(it.next().ok_or("--out-dir needs a directory")?.clone());
             }
             "--interpreter" => {
                 let v = it.next().ok_or("--interpreter needs fast|reference")?;
@@ -622,6 +668,60 @@ fn run_main() -> Result<(), String> {
                 before.heap.allocated_bytes,
                 after.heap.allocated_bytes
             );
+        }
+        "optimize-fleet" => {
+            let mut options = FleetOptions {
+                workloads: args.workloads.clone(),
+                shards: args.parallel.shards,
+                chunk_records: args.parallel.chunk_records,
+                interpreter: args.interpreter,
+                ..FleetOptions::default()
+            };
+            if let Some(sel) = &args.input_sel {
+                options.inputs = InputSelection::parse(sel)
+                    .ok_or_else(|| format!("bad --input `{sel}` (default|alternate|both)"))?;
+            }
+            if let Some(n) = args.rounds {
+                options.rounds = n;
+            }
+            if let Some(n) = args.pool {
+                options.pool_workers = n;
+            }
+            let scoreboard = optimize_fleet(&options, registry.as_ref())?;
+            // Per-job progress lines to stderr, in deterministic fleet
+            // order (the jobs themselves ran concurrently on the pool).
+            for j in &scoreboard.jobs {
+                eprintln!(
+                    "{}/{}: {} round(s), {} applied, {} rejected, drag reduced {:.2}%{}",
+                    j.workload,
+                    j.input,
+                    j.rounds_run,
+                    j.applied.len(),
+                    j.outcome_count(heapdrag::transform::RewriteOutcome::RejectedByAnalysis)
+                        + j.outcome_count(heapdrag::transform::RewriteOutcome::RejectedByVerify),
+                    j.reduction_pct(),
+                    j.error
+                        .as_deref()
+                        .map(|e| format!(" [FAILED: {e}]"))
+                        .unwrap_or_default(),
+                );
+            }
+            print!("{}", scoreboard.render_text());
+            if let Some(path) = &args.json_out {
+                std::fs::write(path, scoreboard.render_json())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("scoreboard json -> {path}");
+            }
+            if let Some(dir) = &args.out_dir {
+                let written = scoreboard
+                    .write_revised(Path::new(dir))
+                    .map_err(|e| format!("{dir}: {e}"))?;
+                eprintln!("{} optimized program(s) -> {dir}", written.len());
+            }
+            let failed = scoreboard.jobs.iter().filter(|j| j.error.is_some()).count();
+            if failed > 0 {
+                return Err(format!("{failed} fleet job(s) failed"));
+            }
         }
         "serve" => {
             if args.spool.is_none() && args.socket.is_none() {
