@@ -36,9 +36,16 @@
 #      profile -> rank -> rewrite -> verify -> re-profile loop; the text
 #      scoreboard must match the committed golden byte for byte and stay
 #      byte-identical when the pool size and shard count change
-#  13. a markdown link check: every relative link in
+#  13. a live-mode smoke: `live` on the smoke program must emit
+#      intermediate snapshots, report zero ring drops, match the
+#      post-mortem `report` output byte-for-byte (final-report prefix),
+#      be deterministic across two runs, and `profile --live-window
+#      unbounded` must write a log byte-identical to the file-logging
+#      profiler's
+#  14. a markdown link check: every relative link in
 #      README/DESIGN/OPTIMIZER/EXPERIMENTS must point at a file that
-#      exists, so doc cross-references can't rot
+#      exists — and every #anchor fragment at a real heading slug in
+#      its target document — so doc cross-references can't rot
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -211,21 +218,67 @@ grep -q '^heapdrag_optimize_jobs_total 2$' "$tmp/fleet-optimize.prom"
 grep -q '^heapdrag_optimize_attempts_total{outcome="rejected-by-verify"} 0$' \
     "$tmp/fleet-optimize.prom"
 
+echo "== smoke: live mode =="
+# The in-process live path must reproduce the post-mortem pipeline: the
+# final report printed by `live` starts with the exact bytes `report`
+# prints for a log of the same run (the coldness section follows), at
+# least one intermediate snapshot appears, nothing is dropped, and two
+# identical invocations produce identical output streams.
+"$bin" report "$tmp/smoke.log" --top 5 > "$tmp/live-ref.txt"
+"$bin" live examples/dragged.hdj --top 5 --every 2000 \
+    --snapshot-out "$tmp/live-snaps.txt" \
+    > "$tmp/live-final.txt" 2> "$tmp/live-summary.txt"
+[ "$(grep -c '^=== live snapshot' "$tmp/live-snaps.txt")" -ge 1 ]
+grep -q ', 0 dropped,' "$tmp/live-summary.txt"
+grep -q '^--- coldness: per-site idle intervals' "$tmp/live-final.txt"
+head -n "$(wc -l < "$tmp/live-ref.txt")" "$tmp/live-final.txt" \
+    | diff -u "$tmp/live-ref.txt" -
+"$bin" live examples/dragged.hdj --top 5 --every 2000 \
+    --snapshot-out "$tmp/live-snaps-b.txt" \
+    > "$tmp/live-final-b.txt" 2> /dev/null
+diff -u "$tmp/live-snaps.txt" "$tmp/live-snaps-b.txt"
+diff -u "$tmp/live-final.txt" "$tmp/live-final-b.txt"
+# The profiling front end can also run through the live engine: with an
+# unbounded window the emitted log is byte-identical to the default
+# file-logging profiler's.
+"$bin" profile examples/dragged.hdj -o "$tmp/live-window.log" \
+    --live-window unbounded > /dev/null 2> /dev/null
+cmp "$tmp/smoke.log" "$tmp/live-window.log"
+
 echo "== docs: markdown link check =="
-# Every relative link target in the doc set must exist (http/mailto and
-# pure in-page #anchors are skipped).
+# Every relative link target in the doc set must exist (http/mailto are
+# skipped), and every #anchor fragment — in-page or cross-document —
+# must name a real heading in its target, via GitHub's slug rules
+# (lowercase, punctuation dropped, spaces to hyphens).
+heading_slugs() {
+    grep -E '^#{1,6} ' "$1" \
+        | sed -E 's/^#+ +//' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
 for doc in README.md DESIGN.md OPTIMIZER.md EXPERIMENTS.md; do
     [ -f "$doc" ] || { echo "missing doc: $doc" >&2; exit 1; }
-    while IFS= read -r target; do
-        case "$target" in
+    while IFS= read -r link; do
+        case "$link" in
             http://*|https://*|mailto:*) continue ;;
         esac
-        target="${target%%#*}"
-        [ -z "$target" ] && continue
-        if [ ! -e "$target" ]; then
+        target="${link%%#*}"
+        if [ -n "$target" ] && [ ! -e "$target" ]; then
             echo "$doc: broken link -> $target" >&2
             exit 1
         fi
+        case "$link" in
+            *'#'*)
+                anchor="${link#*#}"
+                anchor_doc="${target:-$doc}"
+                case "$anchor_doc" in
+                    *.md)
+                        heading_slugs "$anchor_doc" | grep -qxF "$anchor" || {
+                            echo "$doc: dead anchor -> $link" >&2
+                            exit 1
+                        } ;;
+                esac ;;
+        esac
     done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
 done
 

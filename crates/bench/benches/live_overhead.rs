@@ -1,0 +1,96 @@
+//! `live_overhead` — wall-clock of a fully drag-profiled run, file-logging
+//! path vs the in-process live path, per workload. Regenerates the
+//! EXPERIMENTS.md "live-mode overhead" table.
+//!
+//! Three variants, each median-of-N after a warm-up:
+//!
+//! * **plain** — the uninstrumented run (no observer), the baseline cost
+//!   of the program itself;
+//! * **file-log** — the paper's pipeline: `DragProfiler` buffers trailer
+//!   records, then the text log is encoded (to an in-memory sink, so disk
+//!   variance is excluded);
+//! * **live** — `run_live` with an unbounded window and the snapshot
+//!   cadence pushed past the run length: the VM feeds the SPSC ring while
+//!   the consumer thread folds the same trailers into the engine.
+//!
+//! The acceptance target is live within 10% of file-logging profiling
+//! (ratio ≤ 1.10): the ring hand-off and the second thread must not cost
+//! more than the record buffering + log encode they replace.
+
+use std::time::{Duration, Instant};
+
+use heapdrag_core::{profile, run_live, LiveOptions, LogFormat, VmConfig};
+use heapdrag_vm::interp::Vm;
+use heapdrag_workloads::all_workloads;
+
+/// Median of `samples` timings of `f`, after one warm-up call.
+fn median(samples: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    const SAMPLES: usize = 10;
+
+    println!("=== live-mode overhead: median of {SAMPLES} runs, deep GC every 100 KB ===");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>10}",
+        "benchmark", "plain µs", "file-log µs", "live µs", "live/file"
+    );
+    println!("{}", "-".repeat(58));
+    let live_options = LiveOptions {
+        // No snapshots: measure the steady-state feed, not rendering.
+        every: u64::MAX,
+        ..LiveOptions::default()
+    };
+    let mut ratios = Vec::new();
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let program = w.original();
+        let plain = median(SAMPLES, || {
+            Vm::new(&program, VmConfig::default())
+                .run(std::hint::black_box(&input))
+                .expect("runs");
+        });
+        let file = median(SAMPLES, || {
+            let run =
+                profile(&program, std::hint::black_box(&input), VmConfig::profiling())
+                    .expect("profiles");
+            run.write_log_to(&program, LogFormat::Text, &mut std::io::sink())
+                .expect("encodes");
+        });
+        let live = median(SAMPLES, || {
+            let run = run_live(
+                &program,
+                std::hint::black_box(&input),
+                VmConfig::profiling(),
+                &live_options,
+                None,
+                |_: &str| {},
+            )
+            .expect("live runs");
+            assert_eq!(run.dropped, 0, "{}: ring overflowed", w.name);
+        });
+        let ratio = live.as_secs_f64() / file.as_secs_f64();
+        ratios.push(ratio);
+        println!(
+            "{:<10} {:>10} {:>12} {:>10} {:>10.2}",
+            w.name,
+            plain.as_micros(),
+            file.as_micros(),
+            live.as_micros(),
+            ratio
+        );
+    }
+    println!("{}", "-".repeat(58));
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("average live/file-log ratio: {avg:.2} (target: <= 1.10)");
+}

@@ -18,9 +18,10 @@ use std::time::Instant;
 
 use heapdrag_vm::ids::{ChainId, SiteId};
 
+pub(crate) use crate::engine::{accumulate_shard, PartialStats, ShardAccum};
 use crate::integrals::Integrals;
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
-use crate::pattern::{classify_from_sums, LifetimePattern, PatternConfig, PatternSums, TransformKind};
+use crate::pattern::{classify_from_sums, LifetimePattern, PatternConfig, TransformKind};
 use crate::record::ObjectRecord;
 
 /// Aggregate statistics for one group of objects (a partition cell).
@@ -138,110 +139,6 @@ pub struct AnalyzerConfig {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DragAnalyzer {
     config: AnalyzerConfig,
-}
-
-/// Exact, order-independent per-group sums — everything [`GroupStats`]
-/// holds, with the lifetime pattern represented by its sufficient
-/// statistics ([`PatternSums`]) rather than a member list. Merging two
-/// partials is integer addition, so shard merges — and the streaming
-/// fold, which never sees two records of a group at once — cannot drift
-/// from the sequential result.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct PartialStats {
-    bytes: u64,
-    never_used_drag: u128,
-    reachable: u128,
-    in_use: u128,
-    pattern: PatternSums,
-}
-
-impl PartialStats {
-    pub(crate) fn add(&mut self, r: &ObjectRecord, patterns: &PatternConfig) {
-        self.bytes += r.size;
-        self.reachable += r.reachable_product();
-        self.in_use += r.in_use_product();
-        if r.is_never_used(patterns.ctor_use_window) {
-            self.never_used_drag += r.drag();
-        }
-        self.pattern.add(r, patterns);
-    }
-
-    fn merge(&mut self, other: &PartialStats) {
-        self.bytes += other.bytes;
-        self.never_used_drag += other.never_used_drag;
-        self.reachable += other.reachable;
-        self.in_use += other.in_use;
-        self.pattern.merge(&other.pattern);
-    }
-}
-
-/// All three partitions plus totals for one shard of records.
-/// `Clone` lets the serve layer finalize a per-session report while
-/// retaining the accumulator for the fleet-wide merge.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct ShardAccum {
-    nested: HashMap<ChainId, PartialStats>,
-    coarse: HashMap<SiteId, PartialStats>,
-    pairs: HashMap<(ChainId, Option<ChainId>), PartialStats>,
-    totals: Integrals,
-}
-
-impl ShardAccum {
-    pub(crate) fn group_count(&self) -> u64 {
-        (self.nested.len() + self.coarse.len() + self.pairs.len()) as u64
-    }
-
-    /// Folds one record into all three partitions and the totals.
-    pub(crate) fn add<F>(&mut self, r: &ObjectRecord, patterns: &PatternConfig, innermost: &F)
-    where
-        F: Fn(ChainId) -> Option<SiteId> + ?Sized,
-    {
-        self.nested.entry(r.alloc_site).or_default().add(r, patterns);
-        if let Some(s) = innermost(r.alloc_site) {
-            self.coarse.entry(s).or_default().add(r, patterns);
-        }
-        let use_site = if r.is_never_used(patterns.ctor_use_window) {
-            None
-        } else {
-            r.last_use_site
-        };
-        self.pairs
-            .entry((r.alloc_site, use_site))
-            .or_default()
-            .add(r, patterns);
-        self.totals.reachable += r.reachable_product();
-        self.totals.in_use += r.in_use_product();
-    }
-
-    pub(crate) fn merge(&mut self, other: ShardAccum) {
-        for (k, g) in other.nested {
-            self.nested.entry(k).or_default().merge(&g);
-        }
-        for (k, g) in other.coarse {
-            self.coarse.entry(k).or_default().merge(&g);
-        }
-        for (k, g) in other.pairs {
-            self.pairs.entry(k).or_default().merge(&g);
-        }
-        self.totals.reachable += other.totals.reachable;
-        self.totals.in_use += other.totals.in_use;
-    }
-}
-
-/// Accumulates one contiguous shard.
-pub(crate) fn accumulate_shard<F>(
-    records: &[ObjectRecord],
-    patterns: &PatternConfig,
-    innermost: &F,
-) -> ShardAccum
-where
-    F: Fn(ChainId) -> Option<SiteId>,
-{
-    let mut accum = ShardAccum::default();
-    for r in records {
-        accum.add(r, patterns, innermost);
-    }
-    accum
 }
 
 /// Finishes one merged group: copies the exact sums and derives the

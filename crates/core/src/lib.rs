@@ -67,8 +67,10 @@
 pub mod analyzer;
 pub mod codec;
 pub mod compare;
+pub mod engine;
 pub mod histogram;
 pub mod integrals;
+pub mod live;
 pub mod log;
 pub mod parallel;
 pub mod pattern;
@@ -84,6 +86,11 @@ mod u256;
 pub use analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
 pub use codec::{BinarySink, LogFormat, TextSink, TraceSink};
 pub use compare::SavingsReport;
+pub use engine::{
+    ColdSite, DragEngine, EngineConfig, EngineSnapshot, IdleHistogram, SiteIdleSummary,
+    SnapshotSite, WindowSpec,
+};
+pub use live::{run_live, LiveOptions, LiveRun};
 pub use histogram::{Buckets, LifetimeHistogram};
 pub use integrals::Integrals;
 #[allow(deprecated)]

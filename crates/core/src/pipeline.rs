@@ -57,17 +57,17 @@ use heapdrag_vm::program::Program;
 
 use crate::analyzer::{accumulate_shard, DragAnalyzer, DragReport, ShardAccum};
 use crate::codec::LogFormat;
+use crate::engine::DragEngine;
 use crate::log::{
     ingest_bytes_impl, write_run_to, IngestConfig, IngestMode, Ingested, LogError, ParsedLog,
     SalvageSummary,
 };
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
-use crate::pattern::PatternConfig;
 use crate::profiler::ProfileRun;
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::ObjectRecord;
 use crate::report::ChainNamer;
 use crate::serve::WorkerPool;
-use crate::stream::{self, CollectFold, StreamFold, StreamStats};
+use crate::stream::{self, CollectFold, StreamStats};
 
 /// What a [`Pipeline`] terminal can fail with: the reader itself, or the
 /// log it carried.
@@ -190,34 +190,6 @@ impl StreamReport {
         registry
             .gauge("heapdrag_end_time_bytes")
             .set(i64::try_from(self.end_time).unwrap_or(i64::MAX));
-    }
-}
-
-/// The analyze-terminal fold: records stream straight into the analyzer's
-/// partial aggregates and are dropped.
-struct AnalyzeFold<F> {
-    accum: ShardAccum,
-    patterns: PatternConfig,
-    innermost: F,
-    records: u64,
-    alloc_bytes: u64,
-    at_exit: u64,
-    samples: u64,
-}
-
-impl<F> StreamFold for AnalyzeFold<F>
-where
-    F: Fn(ChainId) -> Option<SiteId>,
-{
-    fn record(&mut self, r: ObjectRecord) {
-        self.records += 1;
-        self.alloc_bytes += r.size;
-        self.at_exit += u64::from(r.at_exit);
-        self.accum.add(&r, &self.patterns, &self.innermost);
-    }
-
-    fn sample(&mut self, _s: GcSample) {
-        self.samples += 1;
     }
 }
 
@@ -440,23 +412,15 @@ impl Pipeline {
         R: io::Read,
         F: Fn(ChainId) -> Option<SiteId>,
     {
-        let fold = AnalyzeFold {
-            accum: ShardAccum::default(),
-            patterns: self.analyzer.config().patterns,
-            innermost,
-            records: 0,
-            alloc_bytes: 0,
-            at_exit: 0,
-            samples: 0,
-        };
+        let fold = DragEngine::offline(self.analyzer.config().patterns, innermost);
         let out = stream::run(reader, &self.par, &self.ingest, fold, pool)?;
-        let fold = out.fold;
+        let (accum, records, alloc_bytes, at_exit, samples) = out.fold.into_fold_parts();
         Ok(AnalyzePartials {
-            accum: fold.accum,
-            records: fold.records,
-            alloc_bytes: fold.alloc_bytes,
-            at_exit: fold.at_exit,
-            samples: fold.samples,
+            accum,
+            records,
+            alloc_bytes,
+            at_exit,
+            samples,
             salvage: out.salvage,
             end_time: out.end_time,
             chain_names: out.chain_names,
@@ -545,6 +509,7 @@ mod tests {
     use super::*;
     use crate::codec::{BinarySink, TextSink, TraceSink};
     use crate::log::ingest_bytes_impl;
+    use crate::record::GcSample;
     use crate::report::render;
     use heapdrag_vm::ids::{ClassId, ObjectId};
 

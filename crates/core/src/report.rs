@@ -31,7 +31,7 @@ impl ChainNamer for ProgramNamer<'_> {
     }
 }
 
-fn fmt_mb2(v: u128) -> String {
+pub(crate) fn fmt_mb2(v: u128) -> String {
     format!("{:.3}", v as f64 / (1024.0 * 1024.0))
 }
 

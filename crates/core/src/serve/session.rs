@@ -12,6 +12,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use heapdrag_obs::{Counter, Gauge, Registry};
 use heapdrag_vm::ids::{ChainId, SiteId};
@@ -218,6 +219,12 @@ pub struct SessionSummary {
     pub records: u64,
     /// The session's streaming stats (completed sessions only).
     pub stats: Option<crate::stream::StreamStats>,
+    /// Time spent admitted but not yet running (still growing while
+    /// queued) — the admission-stall signal.
+    pub queued_for: Duration,
+    /// Time spent running (still growing while running; zero if the
+    /// session never started).
+    pub running_for: Duration,
     /// Why the session failed, was rejected, or was canceled.
     pub error: Option<String>,
 }
@@ -249,6 +256,30 @@ struct Session {
     responder: Option<Box<dyn Write + Send>>,
     partials: Option<AnalyzePartials>,
     error: Option<String>,
+    submitted_at: Instant,
+    started_at: Option<Instant>,
+    finished_at: Option<Instant>,
+}
+
+impl Session {
+    /// Queued duration so far: submission to run start, or to terminal
+    /// state for sessions that never ran, or to `now` while still queued.
+    fn queued_for(&self, now: Instant) -> Duration {
+        let end = self.started_at.or(self.finished_at).unwrap_or(now);
+        end.saturating_duration_since(self.submitted_at)
+    }
+
+    /// Running duration so far: run start to terminal state, or to `now`
+    /// while still running. Zero for sessions that never started.
+    fn running_for(&self, now: Instant) -> Duration {
+        match self.started_at {
+            Some(start) => self
+                .finished_at
+                .unwrap_or(now)
+                .saturating_duration_since(start),
+            None => Duration::ZERO,
+        }
+    }
 }
 
 /// The mutex-guarded registry state.
@@ -420,10 +451,14 @@ impl ServeManager {
             responder: spec.responder,
             partials: None,
             error: None,
+            submitted_at: Instant::now(),
+            started_at: None,
+            finished_at: None,
         };
         if let Some(reason) = reject {
             m.rejected.inc();
             session.state = SessionState::Rejected;
+            session.finished_at = Some(session.submitted_at);
             session.source = None;
             respond(&mut session.responder, &format!("error: rejected: {reason}\n"));
             session.error = Some(reason);
@@ -449,6 +484,7 @@ impl ServeManager {
         match session.state {
             SessionState::Queued => {
                 session.state = SessionState::Canceled;
+                session.finished_at = Some(Instant::now());
                 session.error = Some("canceled while queued".to_string());
                 session.source = None;
                 respond(&mut session.responder, "error: canceled\n");
@@ -478,6 +514,7 @@ impl ServeManager {
     /// pool-utilization gauges.
     pub fn sessions(&self) -> Vec<SessionSummary> {
         self.publish_pool_metrics();
+        let now = Instant::now();
         let st = self.shared.state.lock().expect("serve state poisoned");
         st.sessions
             .iter()
@@ -488,6 +525,8 @@ impl ServeManager {
                 cost: s.cost,
                 records: s.partials.as_ref().map_or(0, |p| p.records),
                 stats: s.partials.as_ref().map(|p| p.stats),
+                queued_for: s.queued_for(now),
+                running_for: s.running_for(now),
                 error: s.error.clone(),
             })
             .collect()
@@ -679,6 +718,7 @@ fn claim_next(shared: &Shared) -> Option<Claimed> {
                 m.inflight_peak.set_max(inflight);
                 let s = st.sessions.get_mut(&head).expect("queued session exists");
                 s.state = SessionState::Running;
+                s.started_at = Some(Instant::now());
                 return Some(Claimed {
                     id: head,
                     cost,
@@ -728,6 +768,7 @@ fn finish_session(
     let m = &shared.metrics;
     {
         let s = st.sessions.get_mut(&id).expect("running session exists");
+        s.finished_at = Some(Instant::now());
         match result {
             Ok(partials) => {
                 s.state = SessionState::Completed;

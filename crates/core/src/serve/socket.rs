@@ -76,16 +76,21 @@ fn parse_overrides(
 }
 
 /// One line per session, tab-separated, for the `SESSIONS` reply and the
-/// `heapdrag sessions` output.
+/// `heapdrag sessions` output. The queued/running durations let an
+/// operator spot admission stalls: a large `queued_ms` next to a small
+/// `run_ms` means the budget or driver count, not the trace, is the
+/// bottleneck.
 fn render_sessions(manager: &ServeManager) -> String {
     let mut out = String::new();
     for s in manager.sessions() {
         out.push_str(&format!(
-            "{}\t{}\tcost={}\trecords={}\t{}{}\n",
+            "{}\t{}\tcost={}\trecords={}\tqueued_ms={}\trun_ms={}\t{}{}\n",
             s.id,
             s.state,
             s.cost,
             s.records,
+            s.queued_for.as_millis(),
+            s.running_for.as_millis(),
             s.name,
             s.error.as_deref().map(|e| format!("\t({e})")).unwrap_or_default(),
         ));

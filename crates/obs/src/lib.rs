@@ -21,6 +21,12 @@
 //! `vm_dispatch_total{class="arith"}`; the Prometheus renderer groups such
 //! series under one `# TYPE` line and merges histogram labels with `le`.
 //!
+//! The pipeline registers its families by subsystem prefix: `heapdrag_*`
+//! for the profiler/analyzer core, `heapdrag_serve_*` for the
+//! multi-session service, `heapdrag_optimize_*` for the fleet optimizer,
+//! and `heapdrag_live_*` for in-process live mode (events fed, ring
+//! drops, snapshots emitted, unmatched events, ring capacity).
+//!
 //! ```
 //! use heapdrag_obs::Registry;
 //!

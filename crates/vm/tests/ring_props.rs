@@ -1,0 +1,135 @@
+//! Property tests for the live SPSC ring and its [`LiveProfiler`] under
+//! seeded pathological producers: overflow drops are counted *exactly*,
+//! accepted events keep FIFO order, and neither endpoint ever blocks or
+//! panics — however bursty the producer or stalled the consumer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use heapdrag_testkit::{check, Rng};
+use heapdrag_vm::live::{ring, LiveEvent, LiveProfiler};
+use heapdrag_vm::observer::{GcEvent, HeapObserver};
+
+#[test]
+fn single_threaded_interleavings_match_a_queue_model() {
+    check("ring-model", 256, |rng: &mut Rng| {
+        let (mut tx, mut rx) = ring::<u64>(rng.range_usize(0, 9));
+        let cap = tx.capacity();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for _ in 0..rng.range_usize(10, 200) {
+            if rng.ratio(3, 5) {
+                let accepted = tx.push(next);
+                assert_eq!(
+                    accepted,
+                    model.len() < cap,
+                    "push must accept iff the ring is not full ({} of {cap})",
+                    model.len()
+                );
+                if accepted {
+                    model.push_back(next);
+                }
+                next += 1;
+            } else {
+                assert_eq!(rx.pop(), model.pop_front(), "FIFO order");
+            }
+        }
+        // Everything accepted and not yet popped drains out in order.
+        while let Some(want) = model.pop_front() {
+            assert_eq!(rx.pop(), Some(want));
+        }
+        assert_eq!(rx.pop(), None);
+    });
+}
+
+#[test]
+fn bursting_producers_never_block_and_drops_are_counted_exactly() {
+    // A producer that fires events as fast as it can into a tiny ring
+    // while the consumer randomly stalls. The producer must finish (it
+    // never blocks), every event is either popped or counted dropped,
+    // and the popped timestamps stay strictly increasing (drops lose
+    // events but never reorder the survivors).
+    check("ring-burst-producer", 24, |rng: &mut Rng| {
+        let (tx, mut rx) = ring::<LiveEvent>(rng.range_usize(2, 64));
+        let mut profiler = LiveProfiler::new(tx);
+        let shared = profiler.shared();
+        let consumer_shared = Arc::clone(&shared);
+        let total = rng.range_u64(100, 3_000);
+        let mut consumer_rng = rng.fork();
+
+        let (popped, exits) = std::thread::scope(|scope| {
+            let consumer = scope.spawn(move || {
+                let mut times: Vec<u64> = Vec::new();
+                let mut exits = 0u32;
+                loop {
+                    match rx.pop() {
+                        Some(LiveEvent::DeepGc(e)) => times.push(e.time),
+                        Some(LiveEvent::Exit { .. }) => exits += 1,
+                        Some(_) => unreachable!("only DeepGc/Exit are produced"),
+                        None => {
+                            if consumer_shared.done.load(Ordering::Acquire) {
+                                match rx.pop() {
+                                    Some(LiveEvent::DeepGc(e)) => times.push(e.time),
+                                    Some(LiveEvent::Exit { .. }) => exits += 1,
+                                    Some(_) => unreachable!(),
+                                    None => break,
+                                }
+                            } else if consumer_rng.ratio(1, 4) {
+                                // Pathological stall: let the ring fill.
+                                std::thread::sleep(Duration::from_micros(
+                                    consumer_rng.range_u64(1, 200),
+                                ));
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                (times, exits)
+            });
+            for t in 0..total {
+                profiler.on_deep_gc(GcEvent {
+                    time: t,
+                    reachable_bytes: 0,
+                    reachable_count: 0,
+                });
+            }
+            profiler.on_exit(total);
+            consumer.join().expect("consumer must not panic")
+        });
+
+        let dropped = shared.dropped.load(Ordering::Relaxed);
+        assert_eq!(
+            popped.len() as u64 + u64::from(exits) + dropped,
+            total + 1,
+            "every event is popped or counted dropped"
+        );
+        assert!(
+            popped.windows(2).all(|w| w[0] < w[1]),
+            "accepted events must keep their order"
+        );
+        assert!(exits <= 1, "at most the one exit event");
+    });
+}
+
+#[test]
+fn a_full_ring_keeps_rejecting_until_the_consumer_frees_a_slot() {
+    check("ring-full-reject", 64, |rng: &mut Rng| {
+        let (mut tx, mut rx) = ring::<u64>(rng.range_usize(2, 16));
+        let cap = tx.capacity();
+        for i in 0..cap as u64 {
+            assert!(tx.push(i));
+        }
+        // Arbitrarily many further pushes all reject, without blocking,
+        // panicking, or corrupting the queued values.
+        for _ in 0..rng.range_usize(1, 100) {
+            assert!(!tx.push(u64::MAX));
+        }
+        for want in 0..cap as u64 {
+            assert_eq!(rx.pop(), Some(want));
+            assert!(tx.push(1_000 + want), "freed slot must be reusable");
+        }
+    });
+}

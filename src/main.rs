@@ -46,6 +46,7 @@
 //! footer (which names the detected input format) to the report;
 //! `--max-errors N` bounds how much corruption salvage will tolerate.
 
+use std::io::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -53,20 +54,26 @@ use heapdrag::core::log::{IngestConfig, IngestMode, SalvageSummary};
 use heapdrag::fleet::{optimize_fleet, FleetOptions, InputSelection};
 use heapdrag::core::serve::submit_spool;
 use heapdrag::core::{
-    profile_with, render, LogFormat, ParallelConfig, Pipeline, ServeConfig, ServeManager,
-    SessionSource, SessionSpec, SessionState, SessionSummary, StreamReport, Timeline, VmConfig,
+    profile_with, render, run_live, LiveOptions, LogFormat, ParallelConfig, Pipeline, ProfileRun,
+    ServeConfig, ServeManager, SessionSource, SessionSpec, SessionState, SessionSummary,
+    StreamReport, Timeline, VmConfig, WindowSpec,
 };
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
 use heapdrag::vm::disasm::disassemble;
 use heapdrag::vm::{InterpreterKind, Program, SiteId, Vm, VmConfig as RawConfig};
+use heapdrag::workloads::workload_by_name;
 
 const USAGE: &str = "usage:
   heapdrag run      <prog> [input ints...]
   heapdrag compile  <prog.hdj> -o <out.hdasm>
   heapdrag profile  <prog> -o <out.log> [--log-format text|binary]
-                    [--interval-kb N] [input ints...]
+                    [--interval-kb N] [--live-window <bytes>|unbounded]
+                    [input ints...]
+  heapdrag live     <workload | prog> [--window <bytes>|unbounded]
+                    [--advance N] [--cold-after N] [--every N] [--ring N]
+                    [--snapshot-out <path>] [input ints...]
   heapdrag report   <log file | -> [--top N] [--shards N] [--chunk-records N]
                     (`analyze` is an alias; `-` streams the trace from stdin)
   heapdrag inspect  <log file | -> <rank> [--shards N]   (lifetime histograms of the rank-th site)
@@ -94,6 +101,22 @@ profile flags:
   --log-format <fmt>     trace encoding: `text` (heapdrag-log v1, the
                          default) or `binary` (HDLOG v2 frames, ~2x
                          smaller and faster to ingest); readers autodetect
+
+live flags (live / profile --live-window):
+  --window <bytes>       rolling snapshot window in allocation-clock bytes;
+                         `unbounded` (the default) accumulates forever, and
+                         then the final report is byte-identical to `report`
+                         over a log of the same run
+  --advance <bytes>      rolling-window bucket advance (default: window/8)
+  --cold-after <bytes>   idle allocation-clock bytes before a resident
+                         object counts as cold (default 262144)
+  --every <bytes>        snapshot every N bytes of allocation (default
+                         524288)
+  --ring <events>        in-process event ring capacity, rounded up to a
+                         power of two (default 262144); on overflow events
+                         are dropped and counted, the VM never blocks
+  --snapshot-out <path>  write snapshots to <path> instead of stdout
+                         (the final report always goes to stdout)
 
 log ingestion flags (report / analyze / inspect):
   --strict               abort at the first malformed log line (default)
@@ -152,6 +175,37 @@ struct Args {
     input_sel: Option<String>,
     json_out: Option<String>,
     out_dir: Option<String>,
+    /// `--window`: `Some(None)` = explicit `unbounded`, `Some(Some(n))` =
+    /// rolling over the last `n` bytes.
+    window: Option<Option<u64>>,
+    /// `--live-window` (the `profile` variant), same encoding.
+    live_window: Option<Option<u64>>,
+    advance: Option<u64>,
+    cold_after: Option<u64>,
+    every: Option<u64>,
+    ring: Option<usize>,
+    snapshot_out: Option<String>,
+}
+
+/// Parses a numeric flag value that must be a positive integer. Zero and
+/// garbage get the same stable one-line error.
+fn parse_positive<T>(flag: &str, v: &str) -> Result<T, String>
+where
+    T: std::str::FromStr + Default + PartialEq,
+{
+    match v.parse::<T>() {
+        Ok(n) if n != T::default() => Ok(n),
+        _ => Err(format!("bad {flag}: expected a positive integer, got `{v}`")),
+    }
+}
+
+/// Parses a window spec: `unbounded` (`None`) or a positive byte count.
+fn parse_window_spec(flag: &str, v: &str) -> Result<Option<u64>, String> {
+    if v == "unbounded" {
+        Ok(None)
+    } else {
+        parse_positive(flag, v).map(Some)
+    }
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -178,6 +232,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         input_sel: None,
         json_out: None,
         out_dir: None,
+        window: None,
+        live_window: None,
+        advance: None,
+        cold_after: None,
+        every: None,
+        ring: None,
+        snapshot_out: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -187,19 +248,19 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--interval-kb" => {
                 let v = it.next().ok_or("--interval-kb needs a number")?;
-                args.interval_kb = Some(v.parse().map_err(|_| "bad --interval-kb")?);
+                args.interval_kb = Some(parse_positive("--interval-kb", v)?);
             }
             "--top" => {
                 let v = it.next().ok_or("--top needs a number")?;
-                args.top = v.parse().map_err(|_| "bad --top")?;
+                args.top = parse_positive("--top", v)?;
             }
             "--shards" => {
                 let v = it.next().ok_or("--shards needs a number")?;
-                args.parallel.shards = v.parse().map_err(|_| "bad --shards")?;
+                args.parallel.shards = parse_positive("--shards", v)?;
             }
             "--chunk-records" => {
                 let v = it.next().ok_or("--chunk-records needs a number")?;
-                args.parallel.chunk_records = v.parse().map_err(|_| "bad --chunk-records")?;
+                args.parallel.chunk_records = parse_positive("--chunk-records", v)?;
             }
             "--metrics-out" => {
                 args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
@@ -232,15 +293,15 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--pool" => {
                 let v = it.next().ok_or("--pool needs a number")?;
-                args.pool = Some(v.parse().map_err(|_| "bad --pool")?);
+                args.pool = Some(parse_positive("--pool", v)?);
             }
             "--drivers" => {
                 let v = it.next().ok_or("--drivers needs a number")?;
-                args.drivers = Some(v.parse().map_err(|_| "bad --drivers")?);
+                args.drivers = Some(parse_positive("--drivers", v)?);
             }
             "--budget-chunks" => {
                 let v = it.next().ok_or("--budget-chunks needs a number")?;
-                args.budget_chunks = Some(v.parse().map_err(|_| "bad --budget-chunks")?);
+                args.budget_chunks = Some(parse_positive("--budget-chunks", v)?);
             }
             "--workloads" => {
                 let v = it.next().ok_or("--workloads needs a comma-separated list")?;
@@ -248,7 +309,34 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--rounds" => {
                 let v = it.next().ok_or("--rounds needs a number")?;
-                args.rounds = Some(v.parse().map_err(|_| "bad --rounds")?);
+                args.rounds = Some(parse_positive("--rounds", v)?);
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs <bytes>|unbounded")?;
+                args.window = Some(parse_window_spec("--window", v)?);
+            }
+            "--live-window" => {
+                let v = it.next().ok_or("--live-window needs <bytes>|unbounded")?;
+                args.live_window = Some(parse_window_spec("--live-window", v)?);
+            }
+            "--advance" => {
+                let v = it.next().ok_or("--advance needs a number")?;
+                args.advance = Some(parse_positive("--advance", v)?);
+            }
+            "--cold-after" => {
+                let v = it.next().ok_or("--cold-after needs a number")?;
+                args.cold_after = Some(parse_positive("--cold-after", v)?);
+            }
+            "--every" => {
+                let v = it.next().ok_or("--every needs a number")?;
+                args.every = Some(parse_positive("--every", v)?);
+            }
+            "--ring" => {
+                let v = it.next().ok_or("--ring needs a number")?;
+                args.ring = Some(parse_positive("--ring", v)?);
+            }
+            "--snapshot-out" => {
+                args.snapshot_out = Some(it.next().ok_or("--snapshot-out needs a path")?.clone());
             }
             "--input" => {
                 args.input_sel =
@@ -276,6 +364,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     }
     if args.ingest.max_errors.is_some() && !args.ingest.is_salvage() {
         return Err("--max-errors requires --salvage".into());
+    }
+    let rolling =
+        matches!(args.window, Some(Some(_))) || matches!(args.live_window, Some(Some(_)));
+    if args.advance.is_some() && !rolling {
+        return Err("--advance requires a rolling --window <bytes>".into());
     }
     Ok(args)
 }
@@ -316,15 +409,20 @@ fn serve_config_for(args: &Args, registry: Option<&Registry>) -> ServeConfig {
     config
 }
 
-/// One stderr line per session: id, state, cost, record count, name, and
-/// the error (if any) — the same shape the socket `SESSIONS` reply uses.
+/// One stderr line per session: id, state, cost, record count, queued and
+/// running durations, name, and the error (if any) — the same shape the
+/// socket `SESSIONS` reply uses. A large `queued_ms` against a small
+/// `run_ms` means admission (budget or drivers), not the trace, was the
+/// bottleneck.
 fn session_line(s: &SessionSummary) -> String {
     format!(
-        "{}\t{}\tcost={}\trecords={}\t{}{}",
+        "{}\t{}\tcost={}\trecords={}\tqueued_ms={}\trun_ms={}\t{}{}",
         s.id,
         s.state,
         s.cost,
         s.records,
+        s.queued_for.as_millis(),
+        s.running_for.as_millis(),
         s.name,
         s.error
             .as_deref()
@@ -481,6 +579,39 @@ fn ingest_log_stream(
     Ok((parsed, report, salvage))
 }
 
+/// Builds the [`LiveOptions`] for `live` / `profile --live-window` from
+/// the flags; `window` is the already-selected spec (`None` = unbounded).
+fn live_options_for(args: &Args, window: Option<u64>) -> LiveOptions {
+    let mut options = LiveOptions {
+        top: args.top,
+        ..LiveOptions::default()
+    };
+    if let Some(w) = window {
+        let advance = args.advance.unwrap_or_else(|| (w / 8).max(1));
+        options.window = WindowSpec::Rolling { window: w, advance };
+    }
+    if let Some(n) = args.cold_after {
+        options.cold_after = n;
+    }
+    if let Some(n) = args.every {
+        options.every = n;
+    }
+    if let Some(n) = args.ring {
+        options.ring_capacity = n;
+    }
+    options
+}
+
+/// Where live snapshots go: `--snapshot-out <path>`, or stdout.
+fn snapshot_sink(args: &Args) -> Result<Box<dyn std::io::Write + Send>, String> {
+    Ok(match &args.snapshot_out {
+        Some(p) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout()),
+    })
+}
+
 fn load_program(path: &str) -> Result<Program, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = if path.ends_with(".hdj") {
@@ -539,15 +670,47 @@ fn run_main() -> Result<(), String> {
             let out = args.output.as_deref().ok_or("profile needs -o <log>")?;
             let program = load_program(prog_path)?;
             let input = input_ints(&args.positional[1..])?;
-            let run =
-                profile_with(&program, &input, config, registry.as_ref()).map_err(|e| e.to_string())?;
+            let run = if let Some(window) = args.live_window {
+                // One-shot live mode: snapshots while the VM runs, then
+                // the same log bytes the file-logging profiler writes
+                // (whenever no events were dropped).
+                let mut options = live_options_for(&args, window);
+                options.keep_records = true;
+                let mut sink = snapshot_sink(&args)?;
+                let live = run_live(
+                    &program,
+                    &input,
+                    config,
+                    &options,
+                    registry.as_ref(),
+                    |s: &str| {
+                        let _ = sink.write_all(s.as_bytes());
+                        let _ = sink.write_all(b"\n");
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                sink.flush().map_err(|e| e.to_string())?;
+                eprintln!(
+                    "live: {} snapshot(s), {} dropped event(s), {} unmatched",
+                    live.snapshots, live.dropped, live.unmatched
+                );
+                let (records, samples) = live.collected.expect("keep_records was set");
+                ProfileRun {
+                    records,
+                    samples,
+                    sites: live.sites,
+                    outcome: live.outcome,
+                }
+            } else {
+                profile_with(&program, &input, config, registry.as_ref())
+                    .map_err(|e| e.to_string())?
+            };
             let file = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
             let mut writer = std::io::BufWriter::new(file);
             let encode_start = std::time::Instant::now();
             let log_bytes = run
                 .write_log_to(&program, args.log_format, &mut writer)
                 .and_then(|n| {
-                    use std::io::Write;
                     writer.flush()?;
                     Ok(n)
                 })
@@ -567,6 +730,48 @@ fn run_main() -> Result<(), String> {
                 run.outcome.deep_gcs,
                 run.outcome.end_time,
                 args.log_format
+            );
+        }
+        "live" => {
+            let target = args.positional.first().ok_or(USAGE)?;
+            // A workload name runs that benchmark on its default input
+            // (unless ints are given); anything else is a program path.
+            let (program, input) = match workload_by_name(target) {
+                Some(w) => {
+                    let input = if args.positional.len() > 1 {
+                        input_ints(&args.positional[1..])?
+                    } else {
+                        (w.default_input)()
+                    };
+                    (w.original(), input)
+                }
+                None => (load_program(target)?, input_ints(&args.positional[1..])?),
+            };
+            let options = live_options_for(&args, args.window.flatten());
+            let mut sink = snapshot_sink(&args)?;
+            let live = run_live(
+                &program,
+                &input,
+                config,
+                &options,
+                registry.as_ref(),
+                |s: &str| {
+                    let _ = sink.write_all(s.as_bytes());
+                    let _ = sink.write_all(b"\n");
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            sink.flush().map_err(|e| e.to_string())?;
+            print!("{}", live.render_final(args.top));
+            eprintln!(
+                "live: {} records ({} at exit), {} deep GCs, {} snapshot(s), {} dropped, {} unmatched, end time {} bytes",
+                live.records,
+                live.at_exit,
+                live.samples,
+                live.snapshots,
+                live.dropped,
+                live.unmatched,
+                live.end_time
             );
         }
         "compile" => {
