@@ -42,7 +42,13 @@
 #      be deterministic across two runs, and `profile --live-window
 #      unbounded` must write a log byte-identical to the file-logging
 #      profiler's
-#  14. a markdown link check: every relative link in
+#  14. a retain smoke: `--retain-sample 0` must write a log byte-identical
+#      to a plain profile; with sampling on, the log carries retain
+#      lines, the report grows the retaining-paths section (pinned to
+#      tests/golden/retain_smoke.txt), stays byte-identical across
+#      shard counts and two runs, and optimize-fleet places at least
+#      one path-anchored assign-null on the analyzer workload
+#  15. a markdown link check: every relative link in
 #      README/DESIGN/OPTIMIZER/EXPERIMENTS must point at a file that
 #      exists — and every #anchor fragment at a real heading slug in
 #      its target document — so doc cross-references can't rot
@@ -244,6 +250,40 @@ diff -u "$tmp/live-final.txt" "$tmp/live-final-b.txt"
 "$bin" profile examples/dragged.hdj -o "$tmp/live-window.log" \
     --live-window unbounded > /dev/null 2> /dev/null
 cmp "$tmp/smoke.log" "$tmp/live-window.log"
+
+echo "== smoke: retaining-path sampling =="
+# Rate 0 is absence: the flag at 0 must write the very bytes a flagless
+# profile writes, in both formats.
+"$bin" profile examples/dragged.hdj -o "$tmp/retain-off.log" --retain-sample 0
+cmp "$tmp/smoke.log" "$tmp/retain-off.log"
+"$bin" profile examples/dragged.hdj -o "$tmp/retain-off.bin" \
+    --retain-sample 0 --log-format binary
+cmp "$tmp/smoke-bin.log" "$tmp/retain-off.bin"
+# Sampling on: the log carries retain lines, and the report's new
+# retaining-paths section matches the committed golden — byte-identical
+# at every shard count, across both formats, and across two runs.
+"$bin" profile examples/dragged.hdj -o "$tmp/retain.log" --retain-sample 0.5
+[ "$(grep -c '^retain ' "$tmp/retain.log")" -ge 1 ]
+"$bin" report "$tmp/retain.log" --top 5 > "$tmp/retain-report.txt"
+diff -u tests/golden/retain_smoke.txt "$tmp/retain-report.txt"
+for shards in 4 7; do
+    "$bin" report "$tmp/retain.log" --top 5 --shards "$shards" \
+        --chunk-records 64 > "$tmp/retain-report-s.txt"
+    diff -u "$tmp/retain-report.txt" "$tmp/retain-report-s.txt"
+done
+"$bin" profile examples/dragged.hdj -o "$tmp/retain.bin" \
+    --retain-sample 0.5 --log-format binary
+"$bin" report "$tmp/retain.bin" --top 5 > "$tmp/retain-report-bin.txt"
+diff -u "$tmp/retain-report.txt" "$tmp/retain-report-bin.txt"
+"$bin" profile examples/dragged.hdj -o "$tmp/retain-b.log" --retain-sample 0.5
+cmp "$tmp/retain.log" "$tmp/retain-b.log"
+# The acceptance loop: on analyzer, the static-held sites no-op without
+# sampling and are path-anchored with it, reported on the scoreboard
+# and in the metrics snapshot.
+"$bin" optimize-fleet --workloads analyzer --retain-sample 0.25 \
+    --metrics-out "$tmp/retain-fleet.prom" > "$tmp/retain-fleet.txt" 2> /dev/null
+grep -q '^path-anchored assign-null: [1-9]' "$tmp/retain-fleet.txt"
+grep -Eq '^heapdrag_optimize_path_anchored_total [1-9]' "$tmp/retain-fleet.prom"
 
 echo "== docs: markdown link check =="
 # Every relative link target in the doc set must exist (http/mailto are

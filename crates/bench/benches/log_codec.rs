@@ -73,7 +73,7 @@ fn main() {
         let report = |log: &heapdrag_core::ParsedLog| {
             let analysis = DragAnalyzer::new()
                 .analyze(&log.records, |c| Some(heapdrag_vm::SiteId(c.0)));
-            heapdrag_core::render(&analysis, log, 10)
+            heapdrag_core::ReportSections::standard(&analysis, log).render()
         };
         assert_eq!(
             report(&from_text.log),

@@ -1,0 +1,84 @@
+//! `retain_overhead` — wall-clock of a fully drag-profiled run with and
+//! without retaining-path sampling, per workload. Regenerates the
+//! EXPERIMENTS.md "retain-sampling overhead" table.
+//!
+//! Two variants, each median-of-N after a warm-up, both including the
+//! text log encode (sampling adds `retain` lines, so the encode cost is
+//! part of the honest bill):
+//!
+//! * **off** — `VmConfig::profiling()` as shipped (no sampler);
+//! * **on** — the same config with the default 1/16 sampling rate: the
+//!   mark loop records discovery edges, draws once per newly marked
+//!   object, and resolves each hit into a bounded access path.
+//!
+//! The acceptance target is sampling within 5% of the plain profiled run
+//! (ratio ≤ 1.05 on average): the paper's tool already pays a deep GC
+//! every 100 KB, and the sampler must stay in that budget's noise.
+
+use std::time::{Duration, Instant};
+
+use heapdrag_core::{profile, LogFormat, VmConfig};
+use heapdrag_vm::retain::RetainConfig;
+use heapdrag_workloads::all_workloads;
+
+/// Median of `samples` timings of `f`, after one warm-up call.
+fn median(samples: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    const SAMPLES: usize = 10;
+
+    println!(
+        "=== retain-sampling overhead: median of {SAMPLES} runs, rate 1/16, deep GC every 100 KB ==="
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8}",
+        "benchmark", "off µs", "on µs", "samples", "on/off"
+    );
+    println!("{}", "-".repeat(55));
+    let mut ratios = Vec::new();
+    for w in all_workloads() {
+        let input = (w.default_input)();
+        let program = w.original();
+        let off = median(SAMPLES, || {
+            let run =
+                profile(&program, std::hint::black_box(&input), VmConfig::profiling())
+                    .expect("profiles");
+            run.write_log_to(&program, LogFormat::Text, &mut std::io::sink())
+                .expect("encodes");
+        });
+        let mut sampling = VmConfig::profiling();
+        sampling.retain = RetainConfig::from_rate(RetainConfig::DEFAULT_RATE);
+        let mut drawn = 0usize;
+        let on = median(SAMPLES, || {
+            let run = profile(&program, std::hint::black_box(&input), sampling.clone())
+                .expect("profiles");
+            drawn = run.retains.len();
+            run.write_log_to(&program, LogFormat::Text, &mut std::io::sink())
+                .expect("encodes");
+        });
+        let ratio = on.as_secs_f64() / off.as_secs_f64();
+        ratios.push(ratio);
+        println!(
+            "{:<10} {:>12} {:>12} {:>8} {:>8.2}",
+            w.name,
+            off.as_micros(),
+            on.as_micros(),
+            drawn,
+            ratio
+        );
+    }
+    println!("{}", "-".repeat(55));
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("average on/off ratio: {avg:.2} (target: <= 1.05)");
+}

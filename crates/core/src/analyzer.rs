@@ -22,7 +22,7 @@ pub(crate) use crate::engine::{accumulate_shard, PartialStats, ShardAccum};
 use crate::integrals::Integrals;
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::pattern::{classify_from_sums, LifetimePattern, PatternConfig, TransformKind};
-use crate::record::ObjectRecord;
+use crate::record::{ObjectRecord, RetainRecord};
 
 /// Aggregate statistics for one group of objects (a partition cell).
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +82,45 @@ pub struct AllocUsePairEntry {
     pub stats: GroupStats,
 }
 
+/// One sampled retaining path of an allocation site, with its sampled
+/// weight. Weights are exact integer sums of the sampled objects' sizes,
+/// so the entry is identical whatever order the samples arrived in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainPathEntry {
+    /// The rendered access path, root first, e.g.
+    /// `static Holder.survivor -> Thing.next`.
+    pub path: String,
+    /// Samples that observed this path for this site.
+    pub samples: u64,
+    /// Total size of the sampled objects (the path's sampled weight).
+    pub bytes: u64,
+    /// True if any sample hit the depth bound before reaching the object.
+    pub truncated: bool,
+    /// Largest edge-step count among the samples.
+    pub max_depth: u32,
+}
+
+/// Sampled retaining-path summary for one allocation site: who was
+/// holding this site's surviving objects at deep-GC censuses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteRetainEntry {
+    /// The nested allocation site of the sampled objects.
+    pub site: ChainId,
+    /// Total samples drawn for this site.
+    pub samples: u64,
+    /// Total sampled bytes for this site.
+    pub bytes: u64,
+    /// Distinct paths, heaviest first (bytes desc, samples desc, path asc).
+    pub paths: Vec<RetainPathEntry>,
+}
+
+impl SiteRetainEntry {
+    /// The heaviest sampled path, if any — the optimizer's anchor.
+    pub fn dominant_path(&self) -> Option<&RetainPathEntry> {
+        self.paths.first()
+    }
+}
+
 /// The full output of the off-line analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DragReport {
@@ -94,6 +133,11 @@ pub struct DragReport {
     /// Nested sites whose objects are *all* never-used — the paper's "sure
     /// bet" list — sorted by drag.
     pub never_used_sites: Vec<NestedSiteEntry>,
+    /// Sampled retaining-path summaries per site, heaviest first. Empty
+    /// until [`attach_retains`](Self::attach_retains) is called (and
+    /// always empty when sampling was off), so reports without samples
+    /// are unchanged byte-for-byte.
+    pub retaining: Vec<SiteRetainEntry>,
     /// Whole-run integrals.
     pub totals: Integrals,
 }
@@ -107,6 +151,62 @@ impl DragReport {
     /// The entry for a specific nested site, if present.
     pub fn nested_site(&self, site: ChainId) -> Option<&NestedSiteEntry> {
         self.by_nested_site.iter().find(|e| e.site == site)
+    }
+
+    /// The retaining-path summary for a specific nested site, if any
+    /// samples were attached for it.
+    pub fn retain_entry(&self, site: ChainId) -> Option<&SiteRetainEntry> {
+        self.retaining.iter().find(|e| e.site == site)
+    }
+
+    /// Folds retaining-path samples into per-site summaries and attaches
+    /// them to the report.
+    ///
+    /// Aggregation is keyed by `(site, path)` with exact integer sums, and
+    /// every sort key is total (path strings are unique within a site), so
+    /// the result is byte-identical for any sample order — which is why
+    /// the sharded ingest can hand the merged sample vector over in
+    /// whatever order the shards produced. Calling with an empty slice
+    /// leaves the report untouched.
+    pub fn attach_retains(&mut self, retains: &[RetainRecord]) {
+        if retains.is_empty() {
+            return;
+        }
+        let mut sites: HashMap<ChainId, HashMap<&str, RetainPathEntry>> = HashMap::new();
+        for r in retains {
+            let paths = sites.entry(r.alloc_site).or_default();
+            let e = paths.entry(r.path.as_str()).or_insert_with(|| RetainPathEntry {
+                path: r.path.clone(),
+                samples: 0,
+                bytes: 0,
+                truncated: false,
+                max_depth: 0,
+            });
+            e.samples += 1;
+            e.bytes += r.size;
+            e.truncated |= r.truncated;
+            e.max_depth = e.max_depth.max(r.depth);
+        }
+        let mut retaining: Vec<SiteRetainEntry> = sites
+            .into_iter()
+            .map(|(site, paths)| {
+                let mut paths: Vec<RetainPathEntry> = paths.into_values().collect();
+                paths.sort_by(|a, b| {
+                    b.bytes
+                        .cmp(&a.bytes)
+                        .then(b.samples.cmp(&a.samples))
+                        .then(a.path.cmp(&b.path))
+                });
+                SiteRetainEntry {
+                    site,
+                    samples: paths.iter().map(|p| p.samples).sum(),
+                    bytes: paths.iter().map(|p| p.bytes).sum(),
+                    paths,
+                }
+            })
+            .collect();
+        retaining.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.site.cmp(&b.site)));
+        self.retaining = retaining;
     }
 
     /// Publishes report shape and totals into `registry` as
@@ -353,6 +453,7 @@ impl DragAnalyzer {
             by_coarse_site,
             by_alloc_and_last_use,
             never_used_sites,
+            retaining: Vec::new(),
             totals,
         }
     }

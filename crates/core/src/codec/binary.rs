@@ -6,7 +6,7 @@
 //! file    := MAGIC frame*
 //! MAGIC   := 89 48 44 4C 47 32 0D 0A        ; "\x89HDLG2\r\n"
 //! frame   := tag varint(payload_len) payload checksum
-//! tag     := 01 (chain) | 02 (obj) | 03 (gc) | 04 (end)
+//! tag     := 01 (chain) | 02 (obj) | 03 (gc) | 04 (end) | 05 (retain)
 //! checksum:= u16 LE — FNV-1a32 over tag+payload, folded to 16 bits
 //! ```
 //!
@@ -14,12 +14,14 @@
 //! (`0` = absent, `1` = present followed by the value):
 //!
 //! ```text
-//! chain := varint(id) name-bytes            ; name is the rest of the payload
-//! obj   := varint(object) varint(class) varint(size) varint(created)
-//!          varint(freed - created) opt(last_use - created)
-//!          varint(alloc_chain) opt(use_chain) varint(at_exit)
-//! gc    := varint(time) varint(reachable_bytes) varint(reachable_count)
-//! end   := varint(end_time)
+//! chain  := varint(id) name-bytes           ; name is the rest of the payload
+//! obj    := varint(object) varint(class) varint(size) varint(created)
+//!           varint(freed - created) opt(last_use - created)
+//!           varint(alloc_chain) opt(use_chain) varint(at_exit)
+//! gc     := varint(time) varint(reachable_bytes) varint(reachable_count)
+//! end    := varint(end_time)
+//! retain := varint(alloc_chain) varint(size) varint(time) varint(depth)
+//!           varint(truncated) path-bytes    ; path is the rest of the payload
 //! ```
 //!
 //! The two time deltas are *wrapping* differences mod 2^64 — a bijection,
@@ -41,11 +43,16 @@
 //!   next frame, so salvage drops just that frame and continues.
 //! * **Payload decode failure** (`E004` short payload / `E005` bad or
 //!   oversized varint): framing intact — that frame is dropped.
-//! * **Unknown tag** (`E003`) or an undecodable length prefix (`E005`):
-//!   framing is lost and there is no resync marker, so salvage keeps the
-//!   intact prefix and drops the rest of the input as one unit.
+//! * **Unknown tag** (`E003`): the envelope is tag-independent, so if the
+//!   length prefix decodes and the whole frame is present, salvage skips
+//!   exactly that frame and continues — a reader at this revision walks
+//!   cleanly over frames minted by a future one. This mirrors the text
+//!   codec, where an unknown directive drops one line.
+//! * **Undecodable length prefix** (`E005`): framing is lost and there is
+//!   no resync marker, so salvage keeps the intact prefix and drops the
+//!   rest of the input as one unit — whatever the tag byte said.
 //! * **Truncation mid-frame** (`E007`): the torn write — salvage recovers
-//!   every complete frame before the tear.
+//!   every complete frame before the tear, known tag or not.
 //!
 //! In a [`LogError`] from this codec, `line` is the 1-based *frame* number
 //! and `byte` the frame's start offset.
@@ -55,7 +62,7 @@ use std::io::{self, Write};
 use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
 
 use crate::log::{ErrorCode, LogError};
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 
 use super::{
     frame_checksum, normalize_chain_name, read_varint, write_varint, Chunk, ChunkOut, FrameMeta,
@@ -73,6 +80,8 @@ pub(crate) const TAG_OBJ: u8 = 0x02;
 pub(crate) const TAG_GC: u8 = 0x03;
 /// Frame tag: the end-of-log marker.
 pub(crate) const TAG_END: u8 = 0x04;
+/// Frame tag: one retaining-path sample.
+pub(crate) const TAG_RETAIN: u8 = 0x05;
 
 /// Streams a trace as HDLOG v2 frames to any [`io::Write`].
 #[derive(Debug)]
@@ -142,6 +151,17 @@ impl<W: Write> TraceSink for BinarySink<W> {
         write_varint(&mut self.scratch, s.reachable_bytes);
         write_varint(&mut self.scratch, s.reachable_count);
         self.frame(TAG_GC)
+    }
+
+    fn retain(&mut self, r: &RetainRecord) -> io::Result<()> {
+        write_varint(&mut self.scratch, u64::from(r.alloc_site.0));
+        write_varint(&mut self.scratch, r.size);
+        write_varint(&mut self.scratch, r.time);
+        write_varint(&mut self.scratch, u64::from(r.depth));
+        write_varint(&mut self.scratch, u64::from(r.truncated));
+        self.scratch
+            .extend_from_slice(normalize_chain_name(&r.path).as_bytes());
+        self.frame(TAG_RETAIN)
     }
 
     fn end(&mut self, end_time: u64) -> io::Result<()> {
@@ -304,7 +324,42 @@ fn decode_gc(f: &RawFrame<'_>) -> Result<GcSample, LogError> {
     Ok(sample)
 }
 
-/// Decodes one chunk of `obj`/`gc` frames: per-frame checksum verification
+fn decode_retain(f: &RawFrame<'_>) -> Result<RetainRecord, LogError> {
+    let mut p = Fields::new(f);
+    let alloc_site = ChainId(p.u32_field("alloc chain")?);
+    let size = p.u64_field("size")?;
+    let time = p.u64_field("time")?;
+    let depth = p.u32_field("depth")?;
+    let truncated = match p.u64_field("truncated flag")? {
+        0 => false,
+        1 => true,
+        flag => {
+            return Err(LogError::new(
+                ErrorCode::BadFieldValue,
+                f.frame,
+                format!("bad truncated flag `{flag}`"),
+            ))
+        }
+    };
+    let path = normalize_chain_name(&String::from_utf8_lossy(&f.payload[p.pos..]));
+    if path.is_empty() {
+        return Err(LogError::new(
+            ErrorCode::MissingField,
+            f.frame,
+            "missing field `path`".into(),
+        ));
+    }
+    Ok(RetainRecord {
+        alloc_site,
+        size,
+        time,
+        depth,
+        truncated,
+        path,
+    })
+}
+
+/// Decodes one chunk of `obj`/`gc`/`retain` frames: per-frame checksum verification
 /// first (`E011` on mismatch), then payload decoding. In strict mode the
 /// first bad frame ends the chunk; in salvage mode bad frames are dropped
 /// and counted, and decoding continues — framing is already settled, so a
@@ -315,7 +370,8 @@ pub(crate) fn parse_chunk(frames: &[RawFrame<'_>], chunk: usize, salvage: bool) 
         let result = f.verify().and_then(|()| match f.tag {
             TAG_OBJ => decode_obj(f).map(|r| out.records.push(r)),
             TAG_GC => decode_gc(f).map(|s| out.samples.push(s)),
-            tag => unreachable!("chunked frame {} is not obj/gc: {tag:#04x}", f.frame),
+            TAG_RETAIN => decode_retain(f).map(|r| out.retains.push(r)),
+            tag => unreachable!("chunked frame {} is not obj/gc/retain: {tag:#04x}", f.frame),
         });
         if let Err(mut e) = result {
             e.byte = f.byte;
@@ -334,13 +390,15 @@ pub(crate) fn parse_chunk(frames: &[RawFrame<'_>], chunk: usize, salvage: bool) 
 /// The binary codec's scan pass: walk the frame stream once on the
 /// coordinating thread, hopping from length prefix to length prefix — no
 /// delimiter search. `chain`/`end` frames are verified and decoded in
-/// place; `obj`/`gc` frames are batched into chunks of `chunk_records`
-/// frames for the worker pool, checksums deferred to the workers.
+/// place; `obj`/`gc`/`retain` frames are batched into chunks of
+/// `chunk_records` frames for the worker pool, checksums deferred to the
+/// workers.
 ///
-/// Framing-destroying faults (unknown tag, undecodable length prefix,
-/// truncation) end the scan: strict aborts, salvage keeps the intact
-/// prefix and counts the remainder as skipped. Payload-level faults in
-/// `chain`/`end` frames drop just that frame.
+/// Framing-destroying faults (undecodable length prefix, truncation) end
+/// the scan: strict aborts, salvage keeps the intact prefix and counts
+/// the remainder as skipped. A complete frame with an unknown tag is
+/// skipped frame-by-frame (`E003`) — the envelope still walks. Payload-
+/// level faults in `chain`/`end` frames drop just that frame.
 pub(crate) fn scan(bytes: &[u8], salvage: bool, chunk_records: usize) -> ScanOutput<'_> {
     let mut out = ScanOutput::new();
     let mut chunks: Vec<Vec<RawFrame<'_>>> = Vec::new();
@@ -367,18 +425,6 @@ pub(crate) fn scan(bytes: &[u8], salvage: bool, chunk_records: usize) -> ScanOut
         let start = pos;
         let remaining = (bytes.len() - start) as u64;
         let tag = bytes[start];
-        if !(TAG_CHAIN..=TAG_END).contains(&tag) {
-            // Framing lost: there is no resync marker, so the rest of the
-            // input goes with this frame.
-            let mut e = LogError::new(
-                ErrorCode::UnknownDirective,
-                n,
-                format!("unknown frame tag {tag:#04x}; dropping the rest of the input"),
-            );
-            e.byte = start as u64;
-            out.note(e, remaining, salvage);
-            break;
-        }
         let (payload_len, len_used) = match read_varint(&bytes[start + 1..]) {
             Some(v) => v,
             None => {
@@ -428,7 +474,7 @@ pub(crate) fn scan(bytes: &[u8], salvage: bool, chunk_records: usize) -> ScanOut
         pos = start + frame_total as usize;
 
         match tag {
-            TAG_OBJ | TAG_GC => {
+            TAG_OBJ | TAG_GC | TAG_RETAIN => {
                 current.push(frame);
                 if current.len() >= chunk_records {
                     chunks.push(std::mem::take(&mut current));
@@ -473,7 +519,19 @@ pub(crate) fn scan(bytes: &[u8], salvage: bool, chunk_records: usize) -> ScanOut
                     }
                 }
             }
-            _ => unreachable!("tag range checked above"),
+            _ => {
+                // Unknown tag, but the length prefix walked to the next
+                // frame: skip exactly this frame (forward compatibility).
+                let mut e = LogError::new(
+                    ErrorCode::UnknownDirective,
+                    n,
+                    format!("unknown frame tag {tag:#04x}; skipping one frame"),
+                );
+                e.byte = frame.byte;
+                if out.note(e, frame.len, salvage) {
+                    break;
+                }
+            }
         }
     }
     if !current.is_empty() {
@@ -498,9 +556,10 @@ const MAX_BUFFERED_FRAME: u64 = 64 * 1024 * 1024;
 /// end-of-input.
 #[derive(Debug)]
 enum StallKind {
-    /// Framing lost (unknown tag, corrupt length prefix, missing magic):
-    /// the error is already recorded; the remaining input is counted and
-    /// charged as skipped at end-of-stream.
+    /// Framing lost (corrupt length prefix, missing magic): the error is
+    /// already recorded; the remaining input is counted and charged as
+    /// skipped at end-of-stream. (An unknown tag no longer lands here —
+    /// its frame is skipped individually as long as the envelope walks.)
     Dead { from: u64 },
     /// A frame claimed more than [`MAX_BUFFERED_FRAME`]: reported as a
     /// torn tail at end-of-stream, once the leftover byte count is known.
@@ -664,18 +723,6 @@ impl StreamScanner {
             }
             let start_abs = self.base + off as u64;
             let tag = self.buf[off];
-            if !(TAG_CHAIN..=TAG_END).contains(&tag) {
-                self.n += 1;
-                let mut e = LogError::new(
-                    ErrorCode::UnknownDirective,
-                    self.n,
-                    format!("unknown frame tag {tag:#04x}; dropping the rest of the input"),
-                );
-                e.byte = start_abs;
-                self.base += self.buf.len() as u64;
-                self.framing_lost(e, start_abs);
-                return;
-            }
             let (payload_len, len_used) = match read_varint(&self.buf[off + 1..]) {
                 Some(v) => v,
                 None => {
@@ -729,7 +776,7 @@ impl StreamScanner {
                 crc: u16::from_le_bytes([self.buf[payload_end], self.buf[payload_end + 1]]),
             };
             match tag {
-                TAG_OBJ | TAG_GC => {
+                TAG_OBJ | TAG_GC | TAG_RETAIN => {
                     let start = self.current.buf.len();
                     self.current.buf.extend_from_slice(frame.payload);
                     self.current.metas.push(FrameMeta {
@@ -780,7 +827,17 @@ impl StreamScanner {
                         }
                     }
                 }
-                _ => unreachable!("tag range checked above"),
+                _ => {
+                    // Mirrors the batch scan: a complete frame with an
+                    // unknown tag is skipped on its own.
+                    let mut e = LogError::new(
+                        ErrorCode::UnknownDirective,
+                        self.n,
+                        format!("unknown frame tag {tag:#04x}; skipping one frame"),
+                    );
+                    e.byte = start_abs;
+                    self.state.note(e, frame_total);
+                }
             }
             off += frame_total as usize;
         }
@@ -861,6 +918,15 @@ mod tests {
                 reachable_count: 2,
             })
             .unwrap();
+            sink.retain(&RetainRecord {
+                alloc_site: ChainId(0),
+                size: 816,
+                time: 500,
+                depth: 2,
+                truncated: false,
+                path: "static jess.Engine.debugCache -> [Ljava.lang.Object;".into(),
+            })
+            .unwrap();
             sink.end(1000).unwrap();
         }
         buf
@@ -873,6 +939,7 @@ mod tests {
             let (out, _) = chunk.decode(i, salvage);
             all.records.extend(out.records);
             all.samples.extend(out.samples);
+            all.retains.extend(out.retains);
             all.errors.extend(out.errors);
             all.units_dropped += out.units_dropped;
             all.bytes_skipped += out.bytes_skipped;
@@ -893,7 +960,42 @@ mod tests {
         assert_eq!(out.records[0].last_use, Some(320));
         assert_eq!(out.records[1].last_use, None);
         assert!(out.records[1].at_exit);
+        assert_eq!(out.retains.len(), 1);
+        assert_eq!(out.retains[0].alloc_site, ChainId(0));
+        assert_eq!(out.retains[0].size, 816);
+        assert_eq!(out.retains[0].depth, 2);
+        assert!(!out.retains[0].truncated);
+        assert_eq!(
+            out.retains[0].path,
+            "static jess.Engine.debugCache -> [Ljava.lang.Object;"
+        );
         assert!(out.errors.is_empty());
+    }
+
+    #[test]
+    fn retain_paths_are_normalized_on_write() {
+        let mut buf = Vec::new();
+        let ragged = RetainRecord {
+            alloc_site: ChainId(3),
+            size: 1,
+            time: u64::MAX,
+            depth: u32::MAX,
+            truncated: true,
+            path: "  static  a.B.c \t->  d.E  ".into(),
+        };
+        {
+            let mut sink = BinarySink::new(&mut buf);
+            sink.begin().unwrap();
+            sink.retain(&ragged).unwrap();
+            sink.end(0).unwrap();
+        }
+        let (s, out) = decode_all(&buf, false);
+        assert!(s.errors.is_empty() && out.errors.is_empty());
+        assert_eq!(out.retains.len(), 1);
+        assert_eq!(out.retains[0].path, "static a.B.c -> d.E");
+        assert_eq!(out.retains[0].time, u64::MAX);
+        assert_eq!(out.retains[0].depth, u32::MAX);
+        assert!(out.retains[0].truncated);
     }
 
     #[test]
@@ -945,7 +1047,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_tag_drops_the_rest() {
+    fn unknown_tag_skips_one_frame() {
         let mut bytes = sample_log();
         let scan_clean = scan(&bytes, false, 8192);
         let first_obj = match &scan_clean.chunks[0] {
@@ -955,14 +1057,61 @@ mod tests {
         let (obj_byte, obj_len) = (first_obj.byte as usize, first_obj.len);
         drop(scan_clean);
         bytes[obj_byte] = 0x7f;
+        // Salvage: the envelope still walks, so exactly one frame is lost.
         let (s, out) = decode_all(&bytes, true);
         assert_eq!(s.errors.len(), 1);
         assert_eq!(s.errors[0].code, ErrorCode::UnknownDirective);
-        assert!(!s.saw_end, "everything after the bad tag is gone");
+        assert_eq!(s.errors[0].byte, obj_byte as u64);
+        assert!(s.saw_end, "frames after the bad tag survive");
+        assert_eq!(out.records.len(), 1, "only the retagged record is lost");
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.retains.len(), 1);
+        assert_eq!(s.units_dropped, 1);
+        assert_eq!(s.bytes_skipped, obj_len, "exactly one frame skipped");
+        // Strict: the first error still aborts the scan.
+        let (s, out) = decode_all(&bytes, false);
+        assert_eq!(s.errors.len(), 1);
+        assert_eq!(s.errors[0].code, ErrorCode::UnknownDirective);
+        assert!(!s.saw_end);
         assert_eq!(out.records.len(), 0);
-        let lost = (bytes.len() - obj_byte) as u64;
-        assert_eq!(s.bytes_skipped, lost);
-        assert!(lost > obj_len, "more than one frame was dropped");
+    }
+
+    #[test]
+    fn future_tag_frame_is_skipped_by_this_reader() {
+        // A frame minted by a future writer (tag 0x06, opaque payload)
+        // inserted mid-stream: this reader skips it and keeps everything
+        // else — the forward-compatibility contract for new frame kinds.
+        let bytes = sample_log();
+        let scan_clean = scan(&bytes, false, 8192);
+        let first_obj_byte = match &scan_clean.chunks[0] {
+            Chunk::Frames(frames) => frames[0].byte as usize,
+            _ => unreachable!(),
+        };
+        drop(scan_clean);
+        let mut future = Vec::new();
+        future.push(0x06);
+        let payload = b"opaque future payload";
+        write_varint(&mut future, payload.len() as u64);
+        future.extend_from_slice(payload);
+        future.extend_from_slice(&frame_checksum(0x06, payload).to_le_bytes());
+        let mut spliced = bytes[..first_obj_byte].to_vec();
+        spliced.extend_from_slice(&future);
+        spliced.extend_from_slice(&bytes[first_obj_byte..]);
+
+        let (s, out) = decode_all(&spliced, true);
+        assert_eq!(s.errors.len(), 1);
+        assert_eq!(s.errors[0].code, ErrorCode::UnknownDirective);
+        assert!(s.errors[0].message.contains("0x06"));
+        assert!(s.saw_end);
+        assert_eq!(s.end_time, 1000);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.retains.len(), 1);
+        assert_eq!(s.units_dropped, 1);
+        assert_eq!(s.bytes_skipped, future.len() as u64);
+        assert!(out.errors.is_empty());
+        // And the incremental scanner classifies it identically.
+        assert_stream_matches_batch(&spliced, "future tag");
     }
 
     #[test]
@@ -1012,6 +1161,7 @@ mod tests {
             let (out, _) = chunk.decode(i, salvage);
             all.records.extend(out.records);
             all.samples.extend(out.samples);
+            all.retains.extend(out.retains);
             all.errors.extend(out.errors);
             all.units_dropped += out.units_dropped;
             all.bytes_skipped += out.bytes_skipped;
@@ -1030,6 +1180,7 @@ mod tests {
                     let (out, _) = chunk.decode(i, salvage);
                     want_out.records.extend(out.records);
                     want_out.samples.extend(out.samples);
+                    want_out.retains.extend(out.retains);
                     want_out.errors.extend(out.errors);
                     want_out.units_dropped += out.units_dropped;
                     want_out.bytes_skipped += out.bytes_skipped;
@@ -1043,6 +1194,7 @@ mod tests {
                     assert_eq!(want.chunks.len(), got_chunks, "{ctx}: chunk count");
                     assert_eq!(want_out.records, got_out.records, "{ctx}: records");
                     assert_eq!(want_out.samples, got_out.samples, "{ctx}: samples");
+                    assert_eq!(want_out.retains, got_out.retains, "{ctx}: retains");
                     assert_eq!(want_out.errors, got_out.errors, "{ctx}: chunk errors");
                     assert_eq!(want.errors, scanner.state.errors, "{ctx}: scan errors");
                     if !scanner.state.aborted {

@@ -29,7 +29,7 @@ use heapdrag_vm::ids::ChainId;
 
 use crate::log::LogError;
 use crate::parallel::ShardMetrics;
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 
 pub mod binary;
 pub mod text;
@@ -124,6 +124,15 @@ pub trait TraceSink {
     ///
     /// Propagates writer errors.
     fn sample(&mut self, sample: &GcSample) -> io::Result<()>;
+
+    /// Writes one retaining-path sample (text `retain` line, binary tag-05
+    /// frame). Readers that predate the frame skip it per-unit — see the
+    /// salvage decision table in [`binary`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    fn retain(&mut self, retain: &RetainRecord) -> io::Result<()>;
 
     /// Writes the end-of-log marker. Must be called last: its presence is
     /// what certifies the trace complete to the strict parser.
@@ -226,6 +235,7 @@ pub(crate) fn frame_checksum(tag: u8, payload: &[u8]) -> u16 {
 pub(crate) struct ChunkOut {
     pub(crate) records: Vec<ObjectRecord>,
     pub(crate) samples: Vec<GcSample>,
+    pub(crate) retains: Vec<RetainRecord>,
     pub(crate) errors: Vec<LogError>,
     pub(crate) units_dropped: u64,
     pub(crate) bytes_skipped: u64,
@@ -236,9 +246,9 @@ pub(crate) struct ChunkOut {
 /// search the input for delimiters.
 #[derive(Debug)]
 pub(crate) enum Chunk<'a> {
-    /// Text `obj`/`gc` lines.
+    /// Text `obj`/`gc`/`retain` lines.
     Lines(Vec<text::RawLine<'a>>),
-    /// Binary `obj`/`gc` frames.
+    /// Binary `obj`/`gc`/`retain` frames.
     Frames(Vec<binary::RawFrame<'a>>),
 }
 
@@ -359,9 +369,9 @@ pub(crate) struct OwnedFrames {
 /// paths agree error for error.
 #[derive(Debug)]
 pub(crate) enum OwnedChunk {
-    /// Text `obj`/`gc` lines.
+    /// Text `obj`/`gc`/`retain` lines.
     Lines(OwnedLines),
-    /// Binary `obj`/`gc` frames.
+    /// Binary `obj`/`gc`/`retain` frames.
     Frames(OwnedFrames),
 }
 

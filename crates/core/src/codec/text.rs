@@ -8,24 +8,30 @@
 //! chain 3 Juru.readDocument@12 "new char[]" <- Juru.run@4
 //! obj 17 8 816 1024 204800 2048 3 5 0
 //! gc 102400 81920 512
+//! retain 3 816 102400 2 0 static Juru.cache -> char[]
 //! end 1048576
 //! ```
 //!
+//! A `retain` line is `retain <alloc-chain> <size> <time> <depth>
+//! <truncated 0|1> <path...>` — the path is the rest of the line,
+//! whitespace-normalized on both write and read.
+//!
 //! `scan` is the codec's half of the ingest engine: it walks the input
 //! once, parses the header/`chain`/`end` directives in place, and batches
-//! `obj`/`gc` lines into `Chunk`s for the worker pool. [`TextSink`] is
-//! the streaming encoder. See [`crate::log`] for the strict/salvage
-//! semantics shared with the binary codec.
+//! `obj`/`gc`/`retain` lines into `Chunk`s for the worker pool.
+//! [`TextSink`] is the streaming encoder. See [`crate::log`] for the
+//! strict/salvage semantics shared with the binary codec.
 
 use std::io::{self, Write};
 
 use heapdrag_vm::ids::{ChainId, ClassId, ObjectId};
 
 use crate::log::{ErrorCode, LogError};
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 
 use super::{
-    Chunk, ChunkOut, LineMeta, OwnedChunk, OwnedLines, ScanOutput, StreamScanState, TraceSink,
+    normalize_chain_name, Chunk, ChunkOut, LineMeta, OwnedChunk, OwnedLines, ScanOutput,
+    StreamScanState, TraceSink,
 };
 
 /// The line-1 header every v1 text log starts with.
@@ -74,6 +80,19 @@ impl<W: Write> TraceSink for TextSink<W> {
             self.writer,
             "gc {} {} {}",
             s.time, s.reachable_bytes, s.reachable_count
+        )
+    }
+
+    fn retain(&mut self, r: &RetainRecord) -> io::Result<()> {
+        writeln!(
+            self.writer,
+            "retain {} {} {} {} {} {}",
+            r.alloc_site.0,
+            r.size,
+            r.time,
+            r.depth,
+            r.truncated as u8,
+            normalize_chain_name(&r.path),
         )
     }
 
@@ -220,9 +239,50 @@ fn parse_gc<'a>(
     })
 }
 
-/// Decodes one chunk of `obj`/`gc` lines. In strict mode the first bad
-/// line ends the chunk (the sequential scan would stop there too); in
-/// salvage mode bad lines are dropped and counted, and decoding continues.
+/// Parses one `retain` line body (after the directive word). The path is
+/// the rest of the line, re-joined with single spaces — the same
+/// normalization the sink applies on write.
+fn parse_retain<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<RetainRecord, LogError> {
+    let alloc_site = ChainId(field(parts, n, "alloc chain")?);
+    let size = field(parts, n, "size")?;
+    let time = field(parts, n, "time")?;
+    let depth = field(parts, n, "depth")?;
+    let truncated = match field::<u8>(parts, n, "truncated flag")? {
+        0 => false,
+        1 => true,
+        flag => {
+            return Err(LogError::new(
+                ErrorCode::BadFieldValue,
+                n,
+                format!("bad truncated flag `{flag}`"),
+            ))
+        }
+    };
+    let rest: Vec<&str> = parts.collect();
+    if rest.is_empty() {
+        return Err(LogError::new(
+            ErrorCode::MissingField,
+            n,
+            "missing field `path`".into(),
+        ));
+    }
+    Ok(RetainRecord {
+        alloc_site,
+        size,
+        time,
+        depth,
+        truncated,
+        path: rest.join(" "),
+    })
+}
+
+/// Decodes one chunk of `obj`/`gc`/`retain` lines. In strict mode the
+/// first bad line ends the chunk (the sequential scan would stop there
+/// too); in salvage mode bad lines are dropped and counted, and decoding
+/// continues.
 pub(crate) fn parse_chunk(lines: &[RawLine<'_>], chunk: usize, salvage: bool) -> ChunkOut {
     let mut out = ChunkOut::default();
     for raw in lines {
@@ -230,7 +290,8 @@ pub(crate) fn parse_chunk(lines: &[RawLine<'_>], chunk: usize, salvage: bool) ->
         let result = match parts.next() {
             Some("obj") => parse_obj(&mut parts, raw.line).map(|r| out.records.push(r)),
             Some("gc") => parse_gc(&mut parts, raw.line).map(|s| out.samples.push(s)),
-            other => unreachable!("chunked line {} is not obj/gc: {other:?}", raw.line),
+            Some("retain") => parse_retain(&mut parts, raw.line).map(|r| out.retains.push(r)),
+            other => unreachable!("chunked line {} is not obj/gc/retain: {other:?}", raw.line),
         };
         if let Err(mut e) = result {
             e.byte = raw.byte;
@@ -249,8 +310,8 @@ pub(crate) fn parse_chunk(lines: &[RawLine<'_>], chunk: usize, salvage: bool) ->
 /// The text codec's scan pass: one walk over the input on the
 /// coordinating thread. The header and the `end`/`chain` directives are
 /// parsed in place (they are rare and carry shared state), while
-/// `obj`/`gc` lines — the bulk of a trace — are batched into chunks of
-/// `chunk_records` lines for the worker pool. In strict mode the scan
+/// `obj`/`gc`/`retain` lines — the bulk of a trace — are batched into
+/// chunks of `chunk_records` lines for the worker pool. In strict mode the scan
 /// aborts at the first scan-level error; in salvage mode bad lines are
 /// dropped and counted.
 pub(crate) fn scan(text: &str, salvage: bool, chunk_records: usize) -> ScanOutput<'_> {
@@ -319,7 +380,7 @@ pub(crate) fn scan(text: &str, salvage: bool, chunk_records: usize) -> ScanOutpu
                     }
                 }
             },
-            Some("obj") | Some("gc") => {
+            Some("obj") | Some("gc") | Some("retain") => {
                 current.push(raw);
                 if current.len() >= chunk_records {
                     chunks.push(std::mem::take(&mut current));
@@ -491,7 +552,7 @@ impl StreamScanner {
                     self.state.note(e, len);
                 }
             },
-            Some("obj") | Some("gc") => {
+            Some("obj") | Some("gc") | Some("retain") => {
                 let start = self.current.buf.len();
                 self.current.buf.push_str(&content);
                 self.current.metas.push(LineMeta {
@@ -559,6 +620,7 @@ mod tests {
     fn assert_same_out(a: &ChunkOut, b: &ChunkOut, ctx: &str) {
         assert_eq!(a.records, b.records, "{ctx}: records");
         assert_eq!(a.samples, b.samples, "{ctx}: samples");
+        assert_eq!(a.retains, b.retains, "{ctx}: retains");
         assert_eq!(a.errors, b.errors, "{ctx}: errors");
         assert_eq!(a.units_dropped, b.units_dropped, "{ctx}: units_dropped");
         assert_eq!(a.bytes_skipped, b.bytes_skipped, "{ctx}: bytes_skipped");
@@ -603,8 +665,63 @@ mod tests {
                    obj 1 2 816 16 900 320 0 1 0\n\
                    obj 2 2 24 32 1000 - 1 - 1\n\
                    gc 500 840 2\n\
+                   retain 0 816 500 2 0 static Main.cache -> char[]\n\
                    end 1000\n";
         assert_stream_matches_batch(log.as_bytes(), "clean");
+    }
+
+    #[test]
+    fn retain_lines_roundtrip_and_normalize() {
+        let record = RetainRecord {
+            alloc_site: ChainId(7),
+            size: 4096,
+            time: 123456,
+            depth: 3,
+            truncated: true,
+            path: "  static a.B.c  ->   d.E[3] ".into(),
+        };
+        let mut buf = Vec::new();
+        {
+            let mut sink = TextSink::new(&mut buf);
+            sink.begin().unwrap();
+            sink.retain(&record).unwrap();
+            sink.end(200000).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("retain 7 4096 123456 3 1 static a.B.c -> d.E[3]\n"));
+        let s = scan(&text, false, 8192);
+        assert!(s.errors.is_empty());
+        let (out, _) = s.chunks[0].decode(0, false);
+        assert!(out.errors.is_empty());
+        assert_eq!(out.retains.len(), 1);
+        assert_eq!(
+            out.retains[0],
+            RetainRecord {
+                path: "static a.B.c -> d.E[3]".into(),
+                ..record
+            }
+        );
+    }
+
+    #[test]
+    fn retain_line_faults_are_classified() {
+        // Bad truncated flag → E005; missing path → E004; both survive
+        // salvage without taking neighbours.
+        let log = "heapdrag-log v1\n\
+                   retain 0 816 500 2 9 static Main.cache\n\
+                   retain 0 816 500 2 0\n\
+                   retain 0 24 600 1 1 static Main.pool -> int[]\n\
+                   end 1000\n";
+        let s = scan(log, true, 8192);
+        assert!(s.errors.is_empty());
+        let (out, _) = s.chunks[0].decode(0, true);
+        assert_eq!(out.errors.len(), 2);
+        assert_eq!(out.errors[0].code, ErrorCode::BadFieldValue);
+        assert_eq!(out.errors[1].code, ErrorCode::MissingField);
+        assert_eq!(out.retains.len(), 1);
+        assert!(out.retains[0].truncated);
+        assert_eq!(out.units_dropped, 2);
+        assert_stream_matches_batch(log.as_bytes(), "retain faults");
     }
 
     #[test]

@@ -43,7 +43,7 @@ use heapdrag_vm::ids::{ChainId, ClassId, ObjectId, SiteId};
 
 use crate::integrals::Integrals;
 use crate::pattern::PatternConfig;
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 
 /// Exact, order-independent per-group sums — everything
 /// [`GroupStats`](crate::analyzer::GroupStats) holds, with the lifetime
@@ -461,6 +461,7 @@ pub struct DragEngine<F> {
     alloc_bytes: u64,
     at_exit: u64,
     samples: u64,
+    retains: Vec<RetainRecord>,
     clock: u64,
     live: Option<Box<LiveState>>,
 }
@@ -481,6 +482,7 @@ where
             alloc_bytes: 0,
             at_exit: 0,
             samples: 0,
+            retains: Vec::new(),
             clock: 0,
             live: None,
         }
@@ -501,6 +503,7 @@ where
             alloc_bytes: 0,
             at_exit: 0,
             samples: 0,
+            retains: Vec::new(),
             clock: 0,
             live: Some(Box::new(LiveState {
                 window: config.window,
@@ -533,6 +536,45 @@ where
     pub fn note_sample(&mut self, s: &GcSample) {
         self.samples += 1;
         self.clock = self.clock.max(s.time);
+    }
+
+    /// Notes one retaining-path sample, already attributed to its
+    /// allocation site (the offline ingest path). The engine keeps the
+    /// raw samples; [`DragReport::attach_retains`](crate::analyzer::DragReport::attach_retains)
+    /// folds them into per-site summaries after the report is finalized.
+    pub fn note_retain(&mut self, r: RetainRecord) {
+        self.clock = self.clock.max(r.time);
+        self.retains.push(r);
+    }
+
+    /// Live event: a retaining-path sample for a resident object. The
+    /// allocation site comes from the object's resident trailer; samples
+    /// for objects the engine never saw allocated (their alloc event was
+    /// dropped) count as unmatched and are otherwise ignored.
+    pub fn observe_retain(
+        &mut self,
+        object: ObjectId,
+        size: u64,
+        time: u64,
+        depth: u32,
+        truncated: bool,
+        path: String,
+    ) {
+        self.clock = self.clock.max(time);
+        let Some(live) = &mut self.live else { return };
+        let Some(resident) = live.residents.get(&object) else {
+            live.unmatched += 1;
+            return;
+        };
+        let alloc_site = resident.site;
+        self.retains.push(RetainRecord {
+            alloc_site,
+            size,
+            time,
+            depth,
+            truncated,
+            path,
+        });
     }
 
     /// Live event: an object was allocated. Starts its resident trailer.
@@ -753,6 +795,17 @@ where
         self.samples
     }
 
+    /// The retaining-path samples folded so far.
+    pub fn retain_samples(&self) -> &[RetainRecord] {
+        &self.retains
+    }
+
+    /// Drains the retaining-path samples (the live driver attaches them
+    /// to the final report after finalizing the accumulator).
+    pub fn take_retains(&mut self) -> Vec<RetainRecord> {
+        std::mem::take(&mut self.retains)
+    }
+
     /// Events that referenced an object the engine never saw allocated
     /// (their alloc event was dropped by the ring buffer).
     pub fn unmatched(&self) -> u64 {
@@ -769,13 +822,14 @@ where
         self.accum
     }
 
-    pub(crate) fn into_fold_parts(self) -> (ShardAccum, u64, u64, u64, u64) {
+    pub(crate) fn into_fold_parts(self) -> (ShardAccum, u64, u64, u64, u64, Vec<RetainRecord>) {
         (
             self.accum,
             self.records,
             self.alloc_bytes,
             self.at_exit,
             self.samples,
+            self.retains,
         )
     }
 }
@@ -790,6 +844,10 @@ where
 
     fn sample(&mut self, s: GcSample) {
         self.note_sample(&s);
+    }
+
+    fn retain(&mut self, r: RetainRecord) {
+        self.note_retain(r);
     }
 }
 

@@ -102,8 +102,10 @@ pub use parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 pub use pipeline::{Pipeline, PipelineError, StreamReport};
 pub use pattern::{LifetimePattern, PatternConfig, TransformKind};
 pub use profiler::{profile, profile_with, DragProfiler, ProfileRun, ProfilerMetrics};
-pub use record::{GcSample, ObjectRecord};
-pub use report::{anchor_site, render, ChainNamer, ProgramNamer};
+pub use record::{GcSample, ObjectRecord, RetainRecord};
+pub use report::{anchor_site, ChainNamer, ProgramNamer, ReportSections};
+#[allow(deprecated)]
+pub use report::render;
 pub use serve::{
     ServeConfig, ServeManager, SessionId, SessionSource, SessionSpec, SessionState,
     SessionSummary, WorkerPool,

@@ -38,8 +38,8 @@ use crate::analyzer::{AnalyzerConfig, DragAnalyzer, DragReport};
 use crate::codec::normalize_chain_name;
 use crate::engine::{DragEngine, EngineConfig, EngineSnapshot, SiteIdleSummary, WindowSpec};
 use crate::pattern::PatternConfig;
-use crate::record::{GcSample, ObjectRecord};
-use crate::report::{fmt_mb2, render, ChainNamer};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
+use crate::report::{fmt_mb2, ChainNamer, ReportSections};
 
 /// Configuration of a live profiling run.
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +111,9 @@ pub struct LiveRun {
     /// [`LiveOptions::keep_records`] was set: everything needed to write
     /// the same log the file-logging profiler would have.
     pub collected: Option<(Vec<ObjectRecord>, Vec<GcSample>)>,
+    /// Retaining-path samples observed live (site-resolved), in event
+    /// order — already folded into [`report`](Self::report).
+    pub retains: Vec<RetainRecord>,
 }
 
 impl ChainNamer for LiveRun {
@@ -126,22 +129,15 @@ impl LiveRun {
     /// The final report text: the standard drag report (byte-identical
     /// to `report` under an unbounded window with zero drops) followed
     /// by the coldness section.
+    #[deprecated(
+        since = "0.2.0",
+        note = "assemble with `ReportSections::standard(&run.report, &run).coldness(&run.coldness)`"
+    )]
     pub fn render_final(&self, top: usize) -> String {
-        let mut out = render(&self.report, self, top);
-        if !self.coldness.is_empty() {
-            out.push_str("\n--- coldness: per-site idle intervals (allocation-clock bytes) ---\n");
-            out.push_str("intervals  median-idle     max-idle  site\n");
-            for row in self.coldness.iter().take(top) {
-                out.push_str(&format!(
-                    "{:>9}  {:>11}  {:>11}  {}\n",
-                    row.intervals,
-                    row.median_idle,
-                    row.max_idle,
-                    self.chain_name(row.site),
-                ));
-            }
-        }
-        out
+        ReportSections::standard(&self.report, self)
+            .top(top)
+            .coldness(&self.coldness)
+            .render()
     }
 }
 
@@ -247,6 +243,16 @@ fn consume<S: FnMut(&str)>(
                 if keep {
                     samples.push(sample);
                 }
+            }
+            LiveEvent::Retain(e) => {
+                engine.observe_retain(
+                    e.object,
+                    e.size,
+                    e.time,
+                    e.path.depth,
+                    e.path.truncated,
+                    e.path.text,
+                );
             }
             LiveEvent::Exit { time } => {
                 let flushed = engine.flush_residents(time);
@@ -380,7 +386,7 @@ where
     let outcome = outcome?;
 
     let ConsumerOut {
-        engine,
+        mut engine,
         mut records,
         samples,
         snapshots,
@@ -402,16 +408,20 @@ where
         engine.samples(),
         engine.unmatched(),
     );
+    let retains = engine.take_retains();
     let analyzer = DragAnalyzer::with_config(AnalyzerConfig {
         patterns: options.patterns,
     });
-    let report = analyzer.finalize(engine.into_accum());
+    let mut report = analyzer.finalize(engine.into_accum());
+    report.attach_retains(&retains);
 
     if let Some(r) = registry {
         r.counter("heapdrag_live_events_total").add(events);
         r.counter("heapdrag_live_dropped_total").add(dropped);
         r.counter("heapdrag_live_snapshots_total").add(snapshots);
         r.counter("heapdrag_live_unmatched_total").add(unmatched);
+        r.counter("heapdrag_retain_samples_total")
+            .add(retains.len() as u64);
         r.gauge("heapdrag_live_ring_capacity")
             .set(i64::try_from(capacity).unwrap_or(i64::MAX));
     }
@@ -438,6 +448,7 @@ where
         outcome,
         sites,
         collected,
+        retains,
     })
 }
 

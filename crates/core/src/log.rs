@@ -53,7 +53,7 @@ use crate::codec::{
 };
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::profiler::ProfileRun;
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 use crate::report::ChainNamer;
 
 /// Stable, machine-readable codes for everything that can go wrong while
@@ -68,9 +68,9 @@ use crate::report::ChainNamer;
 /// |------|------|---------|--------|---------|
 /// | `E001` | `empty-log` | the file has no bytes at all | fatal | fatal |
 /// | `E002` | `bad-header` | line 1 is not `heapdrag-log v1` (and the input is not HDLOG v2) | error | line dropped |
-/// | `E003` | `unknown-directive` | a line starts with an unknown word / a frame has an unknown tag | error | line dropped (binary: rest of input dropped — framing lost) |
+/// | `E003` | `unknown-directive` | a line starts with an unknown word / a frame has an unknown tag | error | line/frame dropped (binary: the length prefix still walks, so exactly one frame is skipped) |
 /// | `E004` | `missing-field` | a record line/frame payload is short | error | line dropped |
-/// | `E005` | `bad-field-value` | a field does not parse / a varint is corrupt | error | line dropped (binary length prefix: rest of input dropped) |
+/// | `E005` | `bad-field-value` | a field does not parse / a varint is corrupt | error | line dropped (binary length prefix: rest of input dropped — framing lost) |
 /// | `E006` | `missing-end-marker` | no end marker — log truncated | error | exit time synthesized |
 /// | `E007` | `torn-tail` | unterminated final line / truncated final frame | error | the torn tail dropped |
 /// | `E008` | `too-many-errors` | salvage exceeded its `--max-errors` bound | — | fatal |
@@ -87,8 +87,11 @@ pub enum ErrorCode {
     /// HDLOG v2 binary log.
     BadHeader,
     /// `E003`: a text line starts with a word other than
-    /// `end`/`chain`/`obj`/`gc`, or a binary frame carries an unknown tag
-    /// (which loses framing: salvage drops the rest of the input).
+    /// `end`/`chain`/`obj`/`gc`/`retain`, or a binary frame carries an
+    /// unknown tag. Framing survives in both formats (the line terminator
+    /// or length prefix still walks to the next unit), so salvage drops
+    /// exactly one line or frame — old readers skip frame kinds minted by
+    /// newer writers.
     UnknownDirective,
     /// `E004`: a directive line or frame payload ends before all its
     /// fields.
@@ -290,6 +293,8 @@ pub struct SalvageSummary {
     pub records_kept: u64,
     /// Deep-GC samples in the returned [`ParsedLog`].
     pub samples_kept: u64,
+    /// Retaining-path samples in the returned [`ParsedLog`].
+    pub retains_kept: u64,
     /// Input lines (text) or frames (binary) dropped because they could
     /// not be decoded.
     pub lines_dropped: u64,
@@ -330,6 +335,11 @@ impl SalvageSummary {
         out.push_str(&format!("input format:       {}\n", self.format));
         out.push_str(&format!("records kept:       {}\n", self.records_kept));
         out.push_str(&format!("samples kept:       {}\n", self.samples_kept));
+        // Only traces with retain sampling enabled carry this line, so
+        // rate-0 footers stay byte-identical to pre-retain goldens.
+        if self.retains_kept > 0 {
+            out.push_str(&format!("retains kept:       {}\n", self.retains_kept));
+        }
         out.push_str(&format!("lines dropped:      {}\n", self.lines_dropped));
         out.push_str(&format!("bytes skipped:      {}\n", self.bytes_skipped));
         out.push_str(&format!(
@@ -376,6 +386,11 @@ impl SalvageSummary {
         registry
             .counter("heapdrag_salvage_samples_kept_total")
             .add(self.samples_kept);
+        if self.retains_kept > 0 {
+            registry
+                .counter("heapdrag_salvage_retains_kept_total")
+                .add(self.retains_kept);
+        }
         registry
             .counter("heapdrag_salvage_lines_dropped_total")
             .add(self.lines_dropped);
@@ -413,6 +428,8 @@ pub struct ParsedLog {
     pub records: Vec<ObjectRecord>,
     /// Deep-GC samples.
     pub samples: Vec<GcSample>,
+    /// Retaining-path samples (empty unless the run sampled retainers).
+    pub retains: Vec<RetainRecord>,
 }
 
 impl ChainNamer for ParsedLog {
@@ -448,6 +465,9 @@ impl ParsedLog {
         registry
             .counter("heapdrag_deep_gc_samples_total")
             .add(self.samples.len() as u64);
+        registry
+            .counter("heapdrag_retain_samples_total")
+            .add(self.retains.len() as u64);
         registry
             .gauge("heapdrag_end_time_bytes")
             .set(i64::try_from(self.end_time).unwrap_or(i64::MAX));
@@ -523,6 +543,7 @@ fn drive_sink<S: TraceSink>(
         .iter()
         .flat_map(|r| [Some(r.alloc_site), r.last_use_site])
         .flatten()
+        .chain(run.retains.iter().map(|r| r.alloc_site))
         .collect();
     chains.sort_unstable();
     chains.dedup();
@@ -535,6 +556,9 @@ fn drive_sink<S: TraceSink>(
     }
     for s in &run.samples {
         sink.sample(s)?;
+    }
+    for r in &run.retains {
+        sink.retain(r)?;
     }
     sink.end(run.outcome.end_time)
 }
@@ -799,6 +823,7 @@ pub(crate) fn ingest_bytes_impl(
         for out in outs {
             log.records.extend(out.records);
             log.samples.extend(out.samples);
+            log.retains.extend(out.retains);
         }
     } else {
         if !saw_end {
@@ -830,6 +855,14 @@ pub(crate) fn ingest_bytes_impl(
                     summary.duplicates_dropped += 1;
                 }
             }
+            // Retain frames are *not* deduplicated: unlike object records
+            // (identified by id) and deep-GC samples (identified by their
+            // census), a retain sample carries no identity — multiplicity
+            // is its weight. Ten identical elements sampled at one census
+            // are ten legitimate samples, and collapsing them would skew
+            // every per-path weight and break the on-line/off-line
+            // `heapdrag_retain_samples_total` reconciliation.
+            log.retains.extend(out.retains);
         }
         if summary.synthesized_end {
             log.end_time = log
@@ -837,6 +870,7 @@ pub(crate) fn ingest_bytes_impl(
                 .iter()
                 .map(|r| r.freed)
                 .chain(log.samples.iter().map(|s| s.time))
+                .chain(log.retains.iter().map(|r| r.time))
                 .max()
                 .unwrap_or(0);
         }
@@ -864,6 +898,7 @@ pub(crate) fn ingest_bytes_impl(
 
     summary.records_kept = log.records.len() as u64;
     summary.samples_kept = log.samples.len() as u64;
+    summary.retains_kept = log.retains.len() as u64;
     metrics.merge_elapsed = merge_start.elapsed();
     metrics.total_elapsed = start.elapsed();
     Ok(Ingested {

@@ -64,7 +64,7 @@ use crate::log::{
 };
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::profiler::ProfileRun;
-use crate::record::ObjectRecord;
+use crate::record::{ObjectRecord, RetainRecord};
 use crate::report::ChainNamer;
 use crate::serve::WorkerPool;
 use crate::stream::{self, CollectFold, StreamStats};
@@ -145,6 +145,8 @@ pub struct StreamReport {
     pub at_exit: u64,
     /// Deep-GC samples folded.
     pub samples: u64,
+    /// Retaining-path samples folded.
+    pub retains: u64,
     /// Parse-stage instrumentation (one shard entry per chunk).
     pub parse_metrics: ParallelMetrics,
     /// Aggregate-stage instrumentation. The fold runs on the merge thread
@@ -188,6 +190,9 @@ impl StreamReport {
             .counter("heapdrag_deep_gc_samples_total")
             .add(self.samples);
         registry
+            .counter("heapdrag_retain_samples_total")
+            .add(self.retains);
+        registry
             .gauge("heapdrag_end_time_bytes")
             .set(i64::try_from(self.end_time).unwrap_or(i64::MAX));
     }
@@ -211,6 +216,9 @@ pub(crate) struct AnalyzePartials {
     pub(crate) at_exit: u64,
     /// Deep-GC samples folded.
     pub(crate) samples: u64,
+    /// Retaining-path samples folded (full records — they merge across
+    /// sessions by concatenation, then aggregate at finalize).
+    pub(crate) retains: Vec<RetainRecord>,
     /// What salvage kept, dropped, and repaired.
     pub(crate) salvage: SalvageSummary,
     /// Final allocation-clock value.
@@ -350,6 +358,7 @@ impl Pipeline {
                 chain_names: out.chain_names,
                 records: out.fold.records,
                 samples: out.fold.samples,
+                retains: out.fold.retains,
             },
             salvage: out.salvage,
             metrics: out.metrics,
@@ -414,13 +423,15 @@ impl Pipeline {
     {
         let fold = DragEngine::offline(self.analyzer.config().patterns, innermost);
         let out = stream::run(reader, &self.par, &self.ingest, fold, pool)?;
-        let (accum, records, alloc_bytes, at_exit, samples) = out.fold.into_fold_parts();
+        let (accum, records, alloc_bytes, at_exit, samples, retains) =
+            out.fold.into_fold_parts();
         Ok(AnalyzePartials {
             accum,
             records,
             alloc_bytes,
             at_exit,
             samples,
+            retains,
             salvage: out.salvage,
             end_time: out.end_time,
             chain_names: out.chain_names,
@@ -435,7 +446,8 @@ impl Pipeline {
     pub(crate) fn finalize_partials(&self, partials: AnalyzePartials) -> StreamReport {
         let finalize_start = Instant::now();
         let groups = partials.accum.group_count();
-        let report = self.analyzer.finalize(partials.accum);
+        let mut report = self.analyzer.finalize(partials.accum);
+        report.attach_retains(&partials.retains);
         let finalize_elapsed = finalize_start.elapsed();
         let analyze_metrics = ParallelMetrics {
             shards: vec![ShardMetrics {
@@ -458,6 +470,7 @@ impl Pipeline {
             alloc_bytes: partials.alloc_bytes,
             at_exit: partials.at_exit,
             samples: partials.samples,
+            retains: partials.retains.len() as u64,
             parse_metrics: partials.parse_metrics,
             analyze_metrics,
             stats: partials.stats,
@@ -510,7 +523,7 @@ mod tests {
     use crate::codec::{BinarySink, TextSink, TraceSink};
     use crate::log::ingest_bytes_impl;
     use crate::record::GcSample;
-    use crate::report::render;
+    use crate::report::ReportSections;
     use heapdrag_vm::ids::{ClassId, ObjectId};
 
     fn sample_log(format: LogFormat, end: bool) -> Vec<u8> {
@@ -591,8 +604,8 @@ mod tests {
                 // The rendered report (the user-facing artifact) must be
                 // byte-identical too, chain names included.
                 assert_eq!(
-                    render(&streamed.report, &streamed, 10),
-                    render(&expect_report, &ingested.log, 10)
+                    ReportSections::standard(&streamed.report, &streamed).render(),
+                    ReportSections::standard(&expect_report, &ingested.log).render()
                 );
             }
         }

@@ -8,12 +8,13 @@ use heapdrag_vm::error::VmError;
 use heapdrag_vm::ids::ObjectId;
 use heapdrag_vm::interp::{RunOutcome, Vm, VmConfig};
 use heapdrag_vm::observer::{
-    AllocEvent, FreeEvent, GcEvent, HeapObserver, UseDelivery, UseEvent, UseKind,
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, RetainDelivery, RetainEvent, UseDelivery,
+    UseEvent, UseKind,
 };
 use heapdrag_vm::program::Program;
 use heapdrag_vm::site::SiteTable;
 
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 
 /// The live trailer attached to every object during the run.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +36,7 @@ pub struct ProfilerMetrics {
     reclaimed: Counter,
     at_exit: Counter,
     samples: Counter,
+    retains: Counter,
     end_time: Gauge,
     ev_alloc: Counter,
     ev_free: Counter,
@@ -53,6 +55,7 @@ impl ProfilerMetrics {
             reclaimed: registry.counter("heapdrag_objects_reclaimed_total"),
             at_exit: registry.counter("heapdrag_objects_at_exit_total"),
             samples: registry.counter("heapdrag_deep_gc_samples_total"),
+            retains: registry.counter("heapdrag_retain_samples_total"),
             end_time: registry.gauge("heapdrag_end_time_bytes"),
             ev_alloc: registry.counter("profiler_events_total{kind=\"alloc\"}"),
             ev_free: registry.counter("profiler_events_total{kind=\"free\"}"),
@@ -74,6 +77,7 @@ pub struct DragProfiler {
     live: HashMap<ObjectId, Trailer>,
     records: Vec<ObjectRecord>,
     samples: Vec<GcSample>,
+    retains: Vec<RetainRecord>,
     end_time: u64,
     metrics: Option<ProfilerMetrics>,
 }
@@ -92,9 +96,10 @@ impl DragProfiler {
         }
     }
 
-    /// Consumes the profiler, yielding records and samples.
-    pub fn into_parts(self) -> (Vec<ObjectRecord>, Vec<GcSample>) {
-        (self.records, self.samples)
+    /// Consumes the profiler, yielding records, samples, and retain
+    /// samples.
+    pub fn into_parts(self) -> (Vec<ObjectRecord>, Vec<GcSample>, Vec<RetainRecord>) {
+        (self.records, self.samples, self.retains)
     }
 
     /// Counts a finished record — the single bookkeeping point both
@@ -170,6 +175,24 @@ impl HeapObserver for DragProfiler {
         });
     }
 
+    fn on_retain_sample(&mut self, event: RetainEvent) {
+        if let Some(m) = &self.metrics {
+            m.retains.inc();
+        }
+        // The sampled object is alive (it survived the mark), so its
+        // trailer resolves the allocation site.
+        if let Some(t) = self.live.get(&event.object) {
+            self.retains.push(RetainRecord {
+                alloc_site: t.record.alloc_site,
+                size: event.size,
+                time: event.time,
+                depth: event.path.depth,
+                truncated: event.path.truncated,
+                path: event.path.text,
+            });
+        }
+    }
+
     fn on_exit(&mut self, time: u64) {
         self.end_time = time;
         if let Some(m) = &self.metrics {
@@ -195,6 +218,13 @@ impl HeapObserver for DragProfiler {
     fn use_delivery(&self) -> UseDelivery {
         UseDelivery::Coalesced
     }
+
+    /// Retain samples are welcome whenever the VM is configured to draw
+    /// them; with no [`RetainConfig`](heapdrag_vm::retain::RetainConfig)
+    /// on the VM this hint alone changes nothing.
+    fn retain_delivery(&self) -> RetainDelivery {
+        RetainDelivery::Sample
+    }
 }
 
 /// A finished profiling run: records, samples, the site table for naming,
@@ -205,6 +235,9 @@ pub struct ProfileRun {
     pub records: Vec<ObjectRecord>,
     /// Deep-GC samples, in time order.
     pub samples: Vec<GcSample>,
+    /// Retaining-path samples, in draw order (empty unless the config
+    /// enables sampling).
+    pub retains: Vec<RetainRecord>,
     /// Site table for resolving chain ids to code locations.
     pub sites: SiteTable,
     /// The VM run outcome (program output, steps, GC statistics).
@@ -267,10 +300,11 @@ pub fn profile_with(
         vm.attach_metrics(r);
     }
     let outcome = vm.run_observed(input, &mut profiler)?;
-    let (records, samples) = profiler.into_parts();
+    let (records, samples, retains) = profiler.into_parts();
     Ok(ProfileRun {
         records,
         samples,
+        retains,
         sites: vm.into_sites(),
         outcome,
     })

@@ -93,6 +93,25 @@ pub struct GcSample {
     pub reachable_count: u64,
 }
 
+/// One retaining-path sample: a surviving object, attributed to its
+/// allocation site, and the bounded access path that kept it reachable
+/// at a deep-GC census (see `heapdrag_vm::retain`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RetainRecord {
+    /// Nested allocation site of the sampled object.
+    pub alloc_site: ChainId,
+    /// Object size in bytes — the sample's weight.
+    pub size: u64,
+    /// Allocation-clock time of the census that drew the sample.
+    pub time: u64,
+    /// Number of edge steps between the root and the object.
+    pub depth: u32,
+    /// True when the real path was longer than the depth bound.
+    pub truncated: bool,
+    /// The rendered path, e.g. `static Holder.survivor -> Thing.next`.
+    pub path: String,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

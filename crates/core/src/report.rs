@@ -1,11 +1,21 @@
 //! Human-readable rendering of drag reports — the textual output a
 //! programmer reads to decide where to rewrite code.
+//!
+//! All report text is assembled through [`ReportSections`]: callers
+//! register the sections they want (summary, top sites, sure bets,
+//! retaining paths, coldness, salvage footer) and render in one pass.
+//! Sections render in registration order, empty sections vanish, and
+//! non-empty sections are separated by exactly one blank line — so the
+//! bytes of the classic `summary → sites → sure bets` report are pinned
+//! whatever else a caller stacks on top.
 
 use heapdrag_vm::ids::ChainId;
 use heapdrag_vm::program::Program;
 use heapdrag_vm::site::SiteTable;
 
 use crate::analyzer::DragReport;
+use crate::engine::SiteIdleSummary;
+use crate::log::SalvageSummary;
 
 /// Resolves chain ids to readable site names.
 ///
@@ -35,48 +45,254 @@ pub(crate) fn fmt_mb2(v: u128) -> String {
     format!("{:.3}", v as f64 / (1024.0 * 1024.0))
 }
 
-/// Renders the report: totals, the top `top` nested allocation sites by
-/// drag, and the never-used "sure bet" sites.
-pub fn render(report: &DragReport, namer: &dyn ChainNamer, top: usize) -> String {
-    let mut out = String::new();
-    out.push_str("=== drag report ===\n");
-    out.push_str(&format!(
-        "reachable integral: {} MByte^2\nin-use integral:    {} MByte^2\ntotal drag:         {} MByte^2\n",
-        fmt_mb2(report.totals.reachable),
-        fmt_mb2(report.totals.in_use),
-        fmt_mb2(report.total_drag()),
-    ));
+/// Retaining paths shown per site in the retaining-paths section: the
+/// sampled weight ranking makes the first one the optimizer's anchor, and
+/// anything past the top few is sampling noise.
+const RETAIN_TOP_PATHS: usize = 5;
 
-    out.push_str(&format!(
-        "\n--- top {} nested allocation sites by drag ---\n",
-        top.min(report.by_nested_site.len())
-    ));
-    out.push_str("rank  drag(MB^2)  objects  never-used  pattern               suggested          site\n");
-    for (i, e) in report.by_nested_site.iter().take(top).enumerate() {
-        out.push_str(&format!(
-            "{:>4}  {:>10}  {:>7}  {:>10}  {:<20}  {:<17}  {}\n",
-            i + 1,
-            fmt_mb2(e.stats.drag),
-            e.stats.objects,
-            e.stats.never_used,
-            e.stats.pattern.to_string(),
-            e.stats.suggested_transform().to_string(),
-            namer.chain_name(e.site),
-        ));
+/// One registered report section, rendered lazily by
+/// [`ReportSections::render`].
+enum Section<'a> {
+    Summary,
+    TopSites,
+    SureBets,
+    RetainingPaths,
+    Coldness(&'a [SiteIdleSummary]),
+    SalvageFooter(&'a SalvageSummary),
+}
+
+/// Composable report assembly: register sections, render once.
+///
+/// ```
+/// # use heapdrag_core::analyzer::DragAnalyzer;
+/// # use heapdrag_core::report::{ChainNamer, ReportSections};
+/// # use heapdrag_vm::ids::{ChainId, SiteId};
+/// # struct N;
+/// # impl ChainNamer for N {
+/// #     fn chain_name(&self, c: ChainId) -> String { format!("site-{}", c.0) }
+/// # }
+/// let report = DragAnalyzer::new().analyze(&[], |c| Some(SiteId(c.0)));
+/// let text = ReportSections::standard(&report, &N).top(10).render();
+/// assert!(text.starts_with("=== drag report ==="));
+/// ```
+pub struct ReportSections<'a> {
+    report: &'a DragReport,
+    namer: &'a dyn ChainNamer,
+    top: usize,
+    sections: Vec<Section<'a>>,
+}
+
+impl<'a> ReportSections<'a> {
+    /// An empty assembly over `report`; register sections, then
+    /// [`render`](Self::render).
+    pub fn new(report: &'a DragReport, namer: &'a dyn ChainNamer) -> Self {
+        ReportSections {
+            report,
+            namer,
+            top: 10,
+            sections: Vec::new(),
+        }
     }
 
-    if !report.never_used_sites.is_empty() {
-        out.push_str("\n--- never-used allocation sites (\"sure bets\") ---\n");
-        for e in report.never_used_sites.iter().take(top) {
+    /// The standard drag report: summary, top sites, sure bets, and the
+    /// retaining-paths section (which renders only when samples were
+    /// attached, so sampling-off output is byte-identical to the
+    /// pre-sampling report).
+    pub fn standard(report: &'a DragReport, namer: &'a dyn ChainNamer) -> Self {
+        ReportSections::new(report, namer)
+            .summary()
+            .top_sites()
+            .sure_bets()
+            .retaining_paths()
+    }
+
+    /// Row budget for every ranked section (default 10).
+    #[must_use]
+    pub fn top(mut self, top: usize) -> Self {
+        self.top = top;
+        self
+    }
+
+    /// The header and whole-run integrals.
+    #[must_use]
+    pub fn summary(mut self) -> Self {
+        self.sections.push(Section::Summary);
+        self
+    }
+
+    /// The ranked nested-allocation-site table.
+    #[must_use]
+    pub fn top_sites(mut self) -> Self {
+        self.sections.push(Section::TopSites);
+        self
+    }
+
+    /// The never-used "sure bet" sites (renders only when any exist).
+    #[must_use]
+    pub fn sure_bets(mut self) -> Self {
+        self.sections.push(Section::SureBets);
+        self
+    }
+
+    /// Sampled retaining paths per site (renders only when the report
+    /// carries samples — see [`DragReport::attach_retains`]).
+    #[must_use]
+    pub fn retaining_paths(mut self) -> Self {
+        self.sections.push(Section::RetainingPaths);
+        self
+    }
+
+    /// The live profiler's per-site idle-interval summary (renders only
+    /// when `rows` is non-empty).
+    #[must_use]
+    pub fn coldness(mut self, rows: &'a [SiteIdleSummary]) -> Self {
+        self.sections.push(Section::Coldness(rows));
+        self
+    }
+
+    /// The salvage-ingestion footer; callers register it only for
+    /// salvage-mode runs.
+    #[must_use]
+    pub fn salvage_footer(mut self, summary: &'a SalvageSummary) -> Self {
+        self.sections.push(Section::SalvageFooter(summary));
+        self
+    }
+
+    /// Renders the registered sections in order, one blank line between
+    /// non-empty sections.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            let text = self.render_section(section);
+            if text.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&text);
+        }
+        out
+    }
+
+    fn render_section(&self, section: &Section<'_>) -> String {
+        match section {
+            Section::Summary => self.render_summary(),
+            Section::TopSites => self.render_top_sites(),
+            Section::SureBets => self.render_sure_bets(),
+            Section::RetainingPaths => self.render_retaining(),
+            Section::Coldness(rows) => self.render_coldness(rows),
+            Section::SalvageFooter(summary) => summary.render_footer(),
+        }
+    }
+
+    fn render_summary(&self) -> String {
+        format!(
+            "=== drag report ===\n\
+             reachable integral: {} MByte^2\nin-use integral:    {} MByte^2\ntotal drag:         {} MByte^2\n",
+            fmt_mb2(self.report.totals.reachable),
+            fmt_mb2(self.report.totals.in_use),
+            fmt_mb2(self.report.total_drag()),
+        )
+    }
+
+    fn render_top_sites(&self) -> String {
+        let mut out = format!(
+            "--- top {} nested allocation sites by drag ---\n",
+            self.top.min(self.report.by_nested_site.len())
+        );
+        out.push_str("rank  drag(MB^2)  objects  never-used  pattern               suggested          site\n");
+        for (i, e) in self.report.by_nested_site.iter().take(self.top).enumerate() {
+            out.push_str(&format!(
+                "{:>4}  {:>10}  {:>7}  {:>10}  {:<20}  {:<17}  {}\n",
+                i + 1,
+                fmt_mb2(e.stats.drag),
+                e.stats.objects,
+                e.stats.never_used,
+                e.stats.pattern.to_string(),
+                e.stats.suggested_transform().to_string(),
+                self.namer.chain_name(e.site),
+            ));
+        }
+        out
+    }
+
+    fn render_sure_bets(&self) -> String {
+        if self.report.never_used_sites.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("--- never-used allocation sites (\"sure bets\") ---\n");
+        for e in self.report.never_used_sites.iter().take(self.top) {
             out.push_str(&format!(
                 "{:>10} MB^2  {:>7} objects  {}\n",
                 fmt_mb2(e.stats.drag),
                 e.stats.objects,
-                namer.chain_name(e.site),
+                self.namer.chain_name(e.site),
             ));
         }
+        out
     }
-    out
+
+    fn render_retaining(&self) -> String {
+        if self.report.retaining.is_empty() {
+            return String::new();
+        }
+        let mut out =
+            String::from("--- retaining paths: sampled holders at deep-GC marks ---\n");
+        for e in self.report.retaining.iter().take(self.top) {
+            out.push_str(&format!(
+                "{}: {} sample(s), {} sampled bytes\n",
+                self.namer.chain_name(e.site),
+                e.samples,
+                e.bytes,
+            ));
+            for p in e.paths.iter().take(RETAIN_TOP_PATHS) {
+                out.push_str(&format!(
+                    "  {:>10}  {:>5}x  {}{}\n",
+                    p.bytes,
+                    p.samples,
+                    p.path,
+                    if p.truncated { " (truncated)" } else { "" },
+                ));
+            }
+            if e.paths.len() > RETAIN_TOP_PATHS {
+                out.push_str(&format!(
+                    "  ... and {} more path(s)\n",
+                    e.paths.len() - RETAIN_TOP_PATHS
+                ));
+            }
+        }
+        out
+    }
+
+    fn render_coldness(&self, rows: &[SiteIdleSummary]) -> String {
+        if rows.is_empty() {
+            return String::new();
+        }
+        let mut out =
+            String::from("--- coldness: per-site idle intervals (allocation-clock bytes) ---\n");
+        out.push_str("intervals  median-idle     max-idle  site\n");
+        for row in rows.iter().take(self.top) {
+            out.push_str(&format!(
+                "{:>9}  {:>11}  {:>11}  {}\n",
+                row.intervals,
+                row.median_idle,
+                row.max_idle,
+                self.namer.chain_name(row.site),
+            ));
+        }
+        out
+    }
+}
+
+/// Renders the report: totals, the top `top` nested allocation sites by
+/// drag, and the never-used "sure bet" sites.
+#[deprecated(
+    since = "0.2.0",
+    note = "assemble with `ReportSections::standard(report, namer).top(n).render()`"
+)]
+pub fn render(report: &DragReport, namer: &dyn ChainNamer, top: usize) -> String {
+    ReportSections::standard(report, namer).top(top).render()
 }
 
 #[cfg(test)]
@@ -120,7 +336,7 @@ mod tests {
             },
         ];
         let report = DragAnalyzer::new().analyze(&records, |c| Some(SiteId(c.0)));
-        let text = render(&report, &FixedNamer, 10);
+        let text = ReportSections::standard(&report, &FixedNamer).render();
         assert!(text.contains("site-3"));
         assert!(text.contains("site-4"));
         assert!(text.contains("sure bets"));
@@ -134,9 +350,91 @@ mod tests {
     #[test]
     fn render_empty_report() {
         let report = DragAnalyzer::new().analyze(&[], |c| Some(SiteId(c.0)));
-        let text = render(&report, &FixedNamer, 5);
+        let text = ReportSections::standard(&report, &FixedNamer).top(5).render();
         assert!(text.contains("drag report"));
         assert!(!text.contains("sure bets"));
+    }
+
+    /// The deprecated free function must stay a byte-identical thin
+    /// wrapper over the builder — old callers see unchanged output.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_render_matches_builder() {
+        let records = vec![ObjectRecord {
+            object: ObjectId(1),
+            class: ClassId(0),
+            size: 64,
+            created: 0,
+            freed: 512,
+            last_use: Some(100),
+            alloc_site: ChainId(2),
+            last_use_site: Some(ChainId(2)),
+            at_exit: false,
+        }];
+        let report = DragAnalyzer::new().analyze(&records, |c| Some(SiteId(c.0)));
+        assert_eq!(
+            render(&report, &FixedNamer, 7),
+            ReportSections::standard(&report, &FixedNamer).top(7).render()
+        );
+    }
+
+    /// The retaining-paths section appears only once samples are
+    /// attached, ranked heaviest path first, with the overflow ellipsis
+    /// past [`RETAIN_TOP_PATHS`].
+    #[test]
+    fn retaining_section_renders_after_attach() {
+        use crate::record::RetainRecord;
+        let records = vec![ObjectRecord {
+            object: ObjectId(1),
+            class: ClassId(0),
+            size: 64,
+            created: 0,
+            freed: 512,
+            last_use: Some(100),
+            alloc_site: ChainId(2),
+            last_use_site: Some(ChainId(2)),
+            at_exit: false,
+        }];
+        let mut report = DragAnalyzer::new().analyze(&records, |c| Some(SiteId(c.0)));
+        let without = ReportSections::standard(&report, &FixedNamer).render();
+        assert!(!without.contains("retaining paths"));
+
+        let mut retains = vec![
+            RetainRecord {
+                alloc_site: ChainId(2),
+                size: 96,
+                time: 300,
+                depth: 2,
+                truncated: false,
+                path: "static Holder.big -> Thing.next".into(),
+            },
+            RetainRecord {
+                alloc_site: ChainId(2),
+                size: 16,
+                time: 200,
+                depth: 1,
+                truncated: true,
+                path: "static Holder.small".into(),
+            },
+        ];
+        for i in 0..RETAIN_TOP_PATHS {
+            retains.push(RetainRecord {
+                alloc_site: ChainId(2),
+                size: 1,
+                time: 400,
+                depth: 1,
+                truncated: false,
+                path: format!("static Filler.f{i}"),
+            });
+        }
+        report.attach_retains(&retains);
+        let text = ReportSections::standard(&report, &FixedNamer).render();
+        assert!(text.contains("--- retaining paths: sampled holders at deep-GC marks ---"));
+        // Heaviest path first, truncation flagged, overflow elided.
+        let big = text.find("static Holder.big -> Thing.next").unwrap();
+        let small = text.find("static Holder.small (truncated)").unwrap();
+        assert!(big < small);
+        assert!(text.contains("... and 2 more path(s)"));
     }
 }
 

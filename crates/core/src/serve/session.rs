@@ -20,7 +20,7 @@ use heapdrag_vm::ids::{ChainId, SiteId};
 use crate::analyzer::ShardAccum;
 use crate::log::SalvageSummary;
 use crate::pipeline::{AnalyzePartials, Pipeline, PipelineError};
-use crate::report::render;
+use crate::report::ReportSections;
 use crate::serve::WorkerPool;
 use crate::stream::flight_cap;
 
@@ -579,12 +579,16 @@ impl ServeManager {
         let mut names: HashMap<ChainId, String> = HashMap::new();
         let (mut records, mut alloc_bytes, mut at_exit, mut samples) = (0u64, 0u64, 0u64, 0u64);
         let mut end_time = 0u64;
+        // Retain samples merge by concatenation: attach_retains sums per
+        // (site, path) and sorts canonically, so session order is moot.
+        let mut retains = Vec::new();
         for p in partials {
             records += p.records;
             alloc_bytes += p.alloc_bytes;
             at_exit += p.at_exit;
             samples += p.samples;
             end_time = end_time.max(p.end_time);
+            retains.extend(p.retains);
             accum.merge(p.accum);
             for (id, name) in p.chain_names {
                 names
@@ -603,6 +607,7 @@ impl ServeManager {
             alloc_bytes,
             at_exit,
             samples,
+            retains,
             salvage: SalvageSummary::default(),
             end_time,
             chain_names: names,
@@ -613,7 +618,7 @@ impl ServeManager {
         format!(
             "=== fleet drag report: {merged_sessions} sessions merged, \
              {records} records, {alloc_bytes} bytes allocated ===\n\n{}",
-            render(&sr.report, &sr, top)
+            ReportSections::standard(&sr.report, &sr).top(top).render()
         )
     }
 
@@ -663,12 +668,11 @@ fn respond(responder: &mut Option<Box<dyn Write + Send>>, message: &str) {
 /// byte-identical to the single-shot path in `tests/streaming_parity.rs`.
 fn render_session(pipe: &Pipeline, partials: AnalyzePartials, top: usize) -> String {
     let sr = pipe.finalize_partials(partials);
-    let mut out = render(&sr.report, &sr, top);
+    let mut sections = ReportSections::standard(&sr.report, &sr).top(top);
     if sr.salvage.salvage {
-        out.push('\n');
-        out.push_str(&sr.salvage.render_footer());
+        sections = sections.salvage_footer(&sr.salvage);
     }
-    out
+    sections.render()
 }
 
 /// What a driver takes out of the registry to run one session.
@@ -838,7 +842,7 @@ mod tests {
         let pipe = Pipeline::options().shards(2).chunk_records(8);
         let single = {
             let sr = pipe.analyze_reader(&trace[..]).expect("single-shot run");
-            render(&sr.report, &sr, 10)
+            ReportSections::standard(&sr.report, &sr).render()
         };
         let mut manager = ServeManager::new(ServeConfig {
             pipeline: pipe,

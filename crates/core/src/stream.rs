@@ -43,7 +43,7 @@ use crate::codec::{self, ChunkOut, LogFormat, OwnedChunk, StreamScanState};
 use crate::log::{ErrorCode, IngestConfig, LogError, SalvageSummary, FIRST_ERRORS_CAP};
 use crate::parallel::{ParallelConfig, ParallelMetrics, ShardMetrics};
 use crate::pipeline::PipelineError;
-use crate::record::{GcSample, ObjectRecord};
+use crate::record::{GcSample, ObjectRecord, RetainRecord};
 use crate::serve::WorkerPool;
 
 /// How many bytes the coordinator reads per `read()` call — also the
@@ -112,6 +112,11 @@ pub(crate) trait StreamFold {
     fn record(&mut self, r: ObjectRecord);
     /// Folds one kept deep-GC sample.
     fn sample(&mut self, s: GcSample);
+    /// Folds one kept retaining-path sample. Default: ignore (folds that
+    /// predate retain sampling keep working unchanged).
+    fn retain(&mut self, r: RetainRecord) {
+        let _ = r;
+    }
 }
 
 /// Everything a streaming ingest produced besides the fold itself.
@@ -155,6 +160,7 @@ struct Merger<F> {
     duplicates_dropped: u64,
     records_kept: u64,
     samples_kept: u64,
+    retains_kept: u64,
     /// Latest `freed`/sample time over kept events, for end-time
     /// synthesis.
     max_event: Option<u64>,
@@ -174,6 +180,7 @@ impl<F: StreamFold> Merger<F> {
             duplicates_dropped: 0,
             records_kept: 0,
             samples_kept: 0,
+            retains_kept: 0,
             max_event: None,
             seen_objects: HashSet::new(),
             seen_samples: HashSet::new(),
@@ -227,6 +234,16 @@ impl<F: StreamFold> Merger<F> {
             }
             self.samples_kept += 1;
             self.fold.sample(s);
+        }
+        for r in out.retains {
+            if self.salvage {
+                // No duplicate collapsing for retains: a retain sample has
+                // no identity and its multiplicity is its weight — see the
+                // batch merge in `log.rs` for the full argument.
+                self.max_event = Some(self.max_event.map_or(r.time, |m| m.max(r.time)));
+            }
+            self.retains_kept += 1;
+            self.fold.retain(r);
         }
     }
 }
@@ -572,6 +589,7 @@ pub(crate) fn run<R: Read, F: StreamFold>(
     }
     summary.records_kept = merger.records_kept;
     summary.samples_kept = merger.samples_kept;
+    summary.retains_kept = merger.retains_kept;
     metrics.merge_elapsed = merge_start.elapsed();
     metrics.total_elapsed = start.elapsed();
 
@@ -591,6 +609,7 @@ pub(crate) fn run<R: Read, F: StreamFold>(
 pub(crate) struct CollectFold {
     pub(crate) records: Vec<ObjectRecord>,
     pub(crate) samples: Vec<GcSample>,
+    pub(crate) retains: Vec<RetainRecord>,
 }
 
 impl StreamFold for CollectFold {
@@ -600,6 +619,10 @@ impl StreamFold for CollectFold {
 
     fn sample(&mut self, s: GcSample) {
         self.samples.push(s);
+    }
+
+    fn retain(&mut self, r: RetainRecord) {
+        self.retains.push(r);
     }
 }
 
@@ -855,6 +878,7 @@ mod tests {
                 ChunkOut {
                     records,
                     samples,
+                    retains: Vec::new(),
                     errors: Vec::new(),
                     units_dropped: 0,
                     bytes_skipped: 0,

@@ -4,7 +4,7 @@
 
 use heapdrag_analysis::liveness::death_points;
 use heapdrag_vm::code_edit::insert_at;
-use heapdrag_vm::ids::MethodId;
+use heapdrag_vm::ids::{MethodId, StaticId};
 use heapdrag_vm::insn::Insn;
 use heapdrag_vm::program::Program;
 
@@ -38,6 +38,34 @@ pub fn assign_null_method(program: &mut Program, method: MethodId) -> Result<usi
     Ok(inserted)
 }
 
+/// The *assigning null* rewriting aimed at a **static** holder: inserts
+/// `pushnull; putstatic target` immediately after `pc` in `method`,
+/// releasing whatever the static was rooting from that point on.
+///
+/// This is the mechanical half of path-anchored assign-null: the caller
+/// names the static (from a sampled retaining path) and the insertion
+/// point (the profile's dominant last-use pc). Unlike
+/// [`assign_null_method`], nothing here is proven safe by a static
+/// analysis — the rewrite is profile-guided, so callers **must** gate it
+/// behind an output-differential equivalence check, the way the fleet
+/// driver does.
+///
+/// The instruction pair is stack-neutral (it pushes the null it pops), so
+/// inserting mid-expression cannot disturb surrounding operands.
+///
+/// # Panics
+///
+/// Panics if `pc` is not a valid instruction index of `method`.
+pub fn null_static_after(program: &mut Program, method: MethodId, pc: u32, target: StaticId) {
+    let m = &mut program.methods[method.index()];
+    assert!(
+        (pc as usize) < m.code.len(),
+        "anchor pc {pc} beyond method end {}",
+        m.code.len()
+    );
+    insert_at(m, pc + 1, &[Insn::PushNull, Insn::PutStatic(target)]);
+}
+
 /// Applies [`assign_null_method`] to every method of the program; methods
 /// the analysis cannot handle are skipped. Returns the total number of
 /// null stores inserted.
@@ -58,6 +86,7 @@ mod tests {
     use heapdrag_vm::builder::ProgramBuilder;
     use heapdrag_vm::class::Visibility;
     use heapdrag_vm::interp::Vm;
+    use heapdrag_vm::value::Value;
 
     /// Builds the juru shape: a large buffer used early, then dragged
     /// across a long filler phase because the local still roots it.
@@ -141,6 +170,77 @@ mod tests {
         let mut third = again.clone();
         let n3 = assign_null_program(&mut third);
         assert_eq!(n, n3, "passes converge");
+    }
+
+    #[test]
+    fn null_static_after_releases_a_static_holder() {
+        // A static roots a big buffer across a filler phase; no local dies
+        // (main's local stays live to the end), so only the static-aimed
+        // rewrite can release it.
+        let build = |nulled: bool| {
+            let mut b = ProgramBuilder::new();
+            let cache = b.static_var("App.cache", Visibility::Private, Value::Null);
+            let filler = b.declare_method("filler", None, true, 0, 1);
+            {
+                let mut m = b.begin_body(filler);
+                m.push_int(0).store(0);
+                m.label("loop");
+                m.load(0).push_int(800).cmpge().branch("done");
+                m.push_int(64).new_array().pop();
+                m.load(0).push_int(1).add().store(0);
+                m.jump("loop");
+                m.label("done").ret();
+                m.finish();
+            }
+            let main = b.declare_method("main", None, true, 1, 1);
+            let pc_of_last_use;
+            {
+                let mut m = b.begin_body(main);
+                m.push_int(2000).mark("cached buffer").new_array();
+                m.putstatic(cache);
+                m.getstatic(cache).push_int(0).push_int(5).astore();
+                m.getstatic(cache).push_int(0).aload().print(); // last use
+                pc_of_last_use = m.pc() - 1;
+                m.call(filler); // buffer drags across this via the static
+                m.ret();
+                m.finish();
+            }
+            b.set_entry(main);
+            let mut p = b.finish().unwrap();
+            if nulled {
+                let entry = p.entry;
+                null_static_after(&mut p, entry, pc_of_last_use, cache);
+                p.link().unwrap();
+            }
+            p
+        };
+
+        let original = build(false);
+        let revised = build(true);
+        let out1 = Vm::new(&original, VmConfig::default()).run(&[]).unwrap();
+        let out2 = Vm::new(&revised, VmConfig::default()).run(&[]).unwrap();
+        assert_eq!(out1.output, out2.output, "nulling the static is output-neutral");
+
+        let run1 = profile(&original, &[], VmConfig::profiling()).unwrap();
+        let run2 = profile(&revised, &[], VmConfig::profiling()).unwrap();
+        let i1 = heapdrag_core::Integrals::from_records(&run1.records);
+        let i2 = heapdrag_core::Integrals::from_records(&run2.records);
+        assert!(
+            i2.reachable < i1.reachable,
+            "static-nulled reachable integral {} should undercut original {}",
+            i2.reachable,
+            i1.reachable
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor pc")]
+    fn null_static_after_rejects_out_of_range_pc() {
+        let mut p = juru_like();
+        let cache = heapdrag_vm::ids::StaticId(0);
+        let entry = p.entry;
+        let end = p.methods[entry.index()].code.len() as u32;
+        null_static_after(&mut p, entry, end, cache);
     }
 
     #[test]

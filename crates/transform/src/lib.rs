@@ -56,12 +56,13 @@ pub mod lazy_alloc;
 pub mod optimizer;
 pub mod verify;
 
-pub use assign_null::{assign_null_method, assign_null_program};
+pub use assign_null::{assign_null_method, assign_null_program, null_static_after};
 pub use dead_code::{remove_all_dead_allocations, remove_dead_allocation, DeadCodeContext};
 pub use error::TransformError;
 pub use lazy_alloc::{apply_lazy_allocation, find_lazy_candidates, lazy_allocate_program};
 pub use optimizer::{
-    optimize, optimize_iteratively, optimize_site, AppliedTransform, OptimizationOutcome,
-    OptimizeState, OptimizerOptions, RewriteOutcome, SiteAttempt, SiteStep,
+    find_path_anchor, optimize, optimize_iteratively, optimize_site, AppliedTransform,
+    OptimizationOutcome, OptimizeState, OptimizerOptions, PathAnchor, RewriteOutcome, SiteAttempt,
+    SiteStep,
 };
 pub use verify::{check_equivalence, Equivalence};

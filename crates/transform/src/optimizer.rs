@@ -24,10 +24,10 @@ use std::fmt;
 use heapdrag_core::analyzer::{DragReport, NestedSiteEntry};
 use heapdrag_core::pattern::{LifetimePattern, TransformKind};
 use heapdrag_core::profiler::ProfileRun;
-use heapdrag_vm::ids::{ChainId, MethodId};
+use heapdrag_vm::ids::{ChainId, MethodId, StaticId};
 use heapdrag_vm::program::Program;
 
-use crate::assign_null::assign_null_method;
+use crate::assign_null::{assign_null_method, null_static_after};
 use crate::dead_code::{remove_dead_allocation, DeadCodeContext};
 use crate::lazy_alloc::{apply_lazy_allocation, find_lazy_candidates};
 
@@ -38,6 +38,13 @@ pub struct OptimizerOptions {
     pub min_drag_share: f64,
     /// Visit at most this many sites.
     pub max_sites: usize,
+    /// Allow path-anchored assign-null: when liveness finds no dead
+    /// local, null the *static* named by the site's sampled retaining
+    /// path after the profile's dominant last use. Profile-guided rather
+    /// than statically proven, so it defaults to `false`; enable it only
+    /// behind an output-differential check (the fleet driver's
+    /// transactional verify).
+    pub path_anchoring: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -45,8 +52,62 @@ impl Default for OptimizerOptions {
         OptimizerOptions {
             min_drag_share: 0.01,
             max_sites: 25,
+            path_anchoring: false,
         }
     }
+}
+
+/// Where a path-anchored assign-null would strike: the holding static
+/// (named by the dominant sampled retaining path) and the pc right after
+/// which to null it (the profile's dominant last-use point).
+///
+/// Resolved by [`find_path_anchor`], consumed by [`optimize_site`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathAnchor {
+    /// The static variable rooting the site's sampled objects.
+    pub target: StaticId,
+    /// Its name, for attempt details.
+    pub static_name: String,
+    /// Method containing the dominant last use.
+    pub method: MethodId,
+    /// Pc of the dominant last-use instruction; the null store lands
+    /// right after it.
+    pub pc: u32,
+    /// The full sampled path, for attempt details.
+    pub path: String,
+}
+
+/// Resolves the path-anchored assign-null opportunity at `site`, if any:
+/// the report must carry retaining samples for the site
+/// ([`DragReport::attach_retains`]), the dominant path must be rooted at
+/// a static, and the profile must know a last-use point for the site's
+/// objects.
+pub fn find_path_anchor(
+    program: &Program,
+    run: &ProfileRun,
+    report: &DragReport,
+    site: ChainId,
+) -> Option<PathAnchor> {
+    let retain = report.retaining.iter().find(|r| r.site == site)?;
+    let dominant = retain.dominant_path()?;
+    let root = dominant.path.split(" -> ").next()?;
+    let name = root.strip_prefix("static ")?;
+    let target = program.static_by_name(name)?;
+    // The pair partition is sorted by drag, so the first used pair for
+    // this site is the dominant last use.
+    let pair = report
+        .by_alloc_and_last_use
+        .iter()
+        .find(|p| p.alloc_site == site && p.last_use_site.is_some())?;
+    let use_site = run.sites.innermost(pair.last_use_site?)?;
+    let info = run.sites.site(use_site);
+    Some(PathAnchor {
+        target,
+        static_name: name.to_string(),
+        method: info.method,
+        pc: info.pc,
+        path: dominant.path.clone(),
+    })
 }
 
 /// One transformation the optimizer performed.
@@ -114,6 +175,9 @@ pub struct SiteAttempt {
     pub outcome: RewriteOutcome,
     /// Human-readable detail (what changed, or why not).
     pub detail: String,
+    /// True when the rewrite was placed by a sampled retaining path
+    /// (path-anchored assign-null) rather than a static analysis.
+    pub path_anchored: bool,
 }
 
 /// The optimizer's report.
@@ -185,10 +249,18 @@ fn assign_null_chain(
 /// in place — callers that need transactionality should clone `program`
 /// (and `state`) first and commit or discard the pair based on
 /// [`SiteStep::attempt`]. After committing, relink via `Program::link`.
+///
+/// `anchor` is the site's path-anchored assign-null opportunity (see
+/// [`find_path_anchor`]); pass `None` to restrict assign-null to the
+/// statically-safe liveness rewrite. An anchor is only consulted when
+/// liveness inserts nothing, and the resulting attempt is flagged
+/// [`SiteAttempt::path_anchored`] — callers passing `Some` must verify
+/// the rewrite behind an output-differential check.
 pub fn optimize_site(
     program: &mut Program,
     run: &ProfileRun,
     entry: &NestedSiteEntry,
+    anchor: Option<&PathAnchor>,
     state: &mut OptimizeState,
 ) -> SiteStep {
     let pattern = entry.stats.pattern;
@@ -200,10 +272,12 @@ pub fn optimize_site(
             chosen,
             outcome: RewriteOutcome::NoOp,
             detail: String::new(),
+            path_anchored: false,
         },
         applied: Vec::new(),
         refused: Vec::new(),
     };
+    let mut path_anchored = false;
     let mut resolve = |outcome: RewriteOutcome, detail: String| {
         step.attempt.outcome = outcome;
         step.attempt.detail = detail;
@@ -344,6 +418,28 @@ pub fn optimize_site(
                     detail: detail.clone(),
                 });
                 resolve(RewriteOutcome::Applied, detail);
+            } else if let Some(a) = anchor.filter(|a| !state.shifted.contains(&a.method)) {
+                // Liveness found nothing to null: the drag is rooted in a
+                // static, not a frame slot. The sampled retaining path
+                // names the static; null it right after the profile's
+                // dominant last use. Verification is the caller's gate.
+                null_static_after(program, a.method, a.pc, a.target);
+                state.shifted.insert(a.method);
+                path_anchored = true;
+                let detail = format!(
+                    "no dead reference locals; path-anchored: nulled static {} \
+                     after last use at {}@{} (sampled path `{}`)",
+                    a.static_name,
+                    program.method_name(a.method),
+                    a.pc,
+                    a.path,
+                );
+                step.applied.push(AppliedTransform {
+                    site: entry.site,
+                    kind: TransformKind::AssignNull,
+                    detail: detail.clone(),
+                });
+                resolve(RewriteOutcome::Applied, detail);
             } else {
                 let reason = "no dead reference locals found".to_string();
                 step.refused.push((entry.site, reason.clone()));
@@ -356,6 +452,7 @@ pub fn optimize_site(
             resolve(RewriteOutcome::NoOp, reason);
         }
     }
+    step.attempt.path_anchored = path_anchored;
     step
 }
 
@@ -383,7 +480,12 @@ pub fn optimize(
         if run.sites.innermost(entry.site).is_none() {
             continue;
         }
-        let step = optimize_site(program, run, entry, &mut state);
+        let anchor = if options.path_anchoring {
+            find_path_anchor(program, run, report, entry.site)
+        } else {
+            None
+        };
+        let step = optimize_site(program, run, entry, anchor.as_ref(), &mut state);
         outcome.applied.extend(step.applied);
         outcome.refused.extend(step.refused);
         outcome.attempts.push(step.attempt);
@@ -562,7 +664,7 @@ mod tests {
             &report,
             OptimizerOptions {
                 min_drag_share: 1.1, // impossible share → nothing visited
-                max_sites: 10,
+                ..OptimizerOptions::default()
             },
         );
         assert!(outcome.applied.is_empty());
@@ -620,7 +722,7 @@ mod tests {
             if run.sites.innermost(entry.site).is_none() {
                 continue;
             }
-            let step = optimize_site(&mut stepped, &run, entry, &mut state);
+            let step = optimize_site(&mut stepped, &run, entry, None, &mut state);
             got.applied.extend(step.applied);
             got.refused.extend(step.refused);
             got.attempts.push(step.attempt);

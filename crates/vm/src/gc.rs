@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use crate::heap::{Handle, Heap, Object};
 use crate::program::Program;
+use crate::retain::{RetainSample, RetainSampler};
 use crate::value::Value;
 
 /// Result of a full collection.
@@ -29,6 +30,9 @@ pub struct CollectOutcome {
     /// Unreachable objects newly queued for finalization (resurrected until
     /// their finalizer runs).
     pub pending_finalizers: Vec<Handle>,
+    /// Retaining-path samples drawn during the mark (empty unless the
+    /// collection ran through [`collect_full_traced`]).
+    pub retain_samples: Vec<RetainSample>,
     /// Wall-clock spent in the collection (pause-time accounting).
     pub elapsed: Duration,
 }
@@ -66,6 +70,34 @@ pub fn collect_full(
     roots: &[Handle],
     on_free: &mut dyn FnMut(&Object),
 ) -> CollectOutcome {
+    collect_full_impl(heap, program, roots, on_free, None)
+}
+
+/// Runs a full mark-sweep collection with retaining-path sampling.
+///
+/// Identical to [`collect_full`] — same marking, finalizer resurrection,
+/// and sweep — except that the mark loop additionally records each
+/// object's discovery edge and draws from the sampler's seeded stream;
+/// the resolved samples come back in
+/// [`CollectOutcome::retain_samples`]. The sampler's generator state is
+/// advanced in place so the caller can carry it to the next collection.
+pub fn collect_full_traced(
+    heap: &mut Heap,
+    program: &Program,
+    roots: &[Handle],
+    on_free: &mut dyn FnMut(&Object),
+    sampler: &mut RetainSampler,
+) -> CollectOutcome {
+    collect_full_impl(heap, program, roots, on_free, Some(sampler))
+}
+
+fn collect_full_impl(
+    heap: &mut Heap,
+    program: &Program,
+    roots: &[Handle],
+    on_free: &mut dyn FnMut(&Object),
+    mut sampler: Option<&mut RetainSampler>,
+) -> CollectOutcome {
     let start = Instant::now();
     let live = heap.live_handles();
     for &h in &live {
@@ -83,9 +115,19 @@ pub fn collect_full(
         }
     }
     let mut traced = 0u64;
-    mark(heap, &mut worklist, &mut traced);
+    match sampler.as_deref_mut() {
+        Some(s) => {
+            for &h in &worklist {
+                s.note_seed(h);
+            }
+            mark_traced(heap, &mut worklist, &mut traced, s);
+        }
+        None => mark(heap, &mut worklist, &mut traced),
+    }
 
-    // Resurrect unreachable finalizable objects and queue them.
+    // Resurrect unreachable finalizable objects and queue them. The
+    // resurrection mark is never sampled: a finalizer-pending subgraph
+    // is not *retained* by the mutator, so it has no retaining path.
     let mut pending = Vec::new();
     for &h in &live {
         let Some(o) = heap.get(h) else { continue };
@@ -106,9 +148,19 @@ pub fn collect_full(
     }
     heap.stats_mut().traced_objects += traced;
 
+    // Resolve sampled paths while the marked heap is still populated.
+    let retain_samples = match sampler {
+        Some(s) => {
+            s.resolve(heap, program);
+            s.take_samples()
+        }
+        None => Vec::new(),
+    };
+
     // Sweep.
     let mut outcome = CollectOutcome {
         pending_finalizers: pending,
+        retain_samples,
         ..CollectOutcome::default()
     };
     for &h in &live {
@@ -224,6 +276,27 @@ fn mark(heap: &mut Heap, worklist: &mut Vec<Handle>, traced: &mut u64) {
         *traced += 1;
         let o = heap.get(h).expect("just marked");
         trace_children(o, worklist);
+    }
+}
+
+/// [`mark`] with discovery-edge recording and per-object sampling. Kept
+/// as a separate loop so the untraced mark pays nothing for the feature.
+fn mark_traced(heap: &mut Heap, worklist: &mut Vec<Handle>, traced: &mut u64, s: &mut RetainSampler) {
+    while let Some(h) = worklist.pop() {
+        let Some(o) = heap.get_mut(h) else { continue };
+        if o.marked {
+            continue;
+        }
+        o.marked = true;
+        *traced += 1;
+        s.draw(h);
+        let o = heap.get(h).expect("just marked");
+        for (slot, value) in o.data.iter().enumerate() {
+            if let Value::Ref(child) = value {
+                s.note_edge(*child, h, slot as u32);
+                worklist.push(*child);
+            }
+        }
     }
 }
 

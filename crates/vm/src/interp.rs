@@ -3,16 +3,18 @@
 use std::collections::HashMap;
 
 use crate::error::VmError;
-use crate::gc::{collect_full, collect_minor};
+use crate::gc::{collect_full, collect_full_traced, collect_minor};
 use crate::heap::{Handle, Heap, HeapStats};
 use crate::ids::{ChainId, ClassId, MethodId, ObjectId, SiteId};
 use crate::insn::{Insn, OpcodeClass};
 use crate::metrics::VmMetrics;
 use crate::observer::{
-    AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, UseDelivery, UseEvent, UseKind,
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, NullObserver, RetainDelivery, RetainEvent,
+    UseDelivery, UseEvent, UseKind,
 };
 use crate::predecode::{predecode, ChainIc, CtxIc, CtxTable, IcState, Op, PredecodedProgram, VtIc};
 use crate::program::Program;
+use crate::retain::{RetainConfig, RetainSampler, RootRef};
 use crate::site::SiteTable;
 use crate::value::Value;
 
@@ -60,6 +62,11 @@ pub struct VmConfig {
     /// Which dispatch loop to use (observably identical; see
     /// [`InterpreterKind`]).
     pub interpreter: InterpreterKind,
+    /// Retaining-path sampling during deep-GC census marks (see
+    /// [`crate::retain`]). `None` disables sampling; the observer must
+    /// additionally opt in through
+    /// [`HeapObserver::retain_delivery`].
+    pub retain: Option<RetainConfig>,
 }
 
 impl Default for VmConfig {
@@ -74,6 +81,7 @@ impl Default for VmConfig {
             max_frames: 1024,
             max_steps: Some(2_000_000_000),
             interpreter: InterpreterKind::default(),
+            retain: None,
         }
     }
 }
@@ -236,6 +244,8 @@ pub struct Vm<'p> {
     ctxs: CtxTable,
     /// Buffered uses awaiting a coalesced flush.
     pending: PendingUses,
+    /// SplitMix64 stream for retain sampling, carried across collections.
+    retain_state: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -271,6 +281,7 @@ impl<'p> Vm<'p> {
             ics,
             ctxs: CtxTable::new(),
             pending: PendingUses::default(),
+            retain_state: 0,
         }
     }
 
@@ -405,6 +416,7 @@ impl<'p> Vm<'p> {
         self.in_deep_gc = false;
         self.dispatch = [0; OpcodeClass::COUNT];
         self.pending.reset();
+        self.retain_state = self.config.retain.map_or(0, |r| r.seed);
         self.next_deep_gc = self.config.deep_gc_interval.unwrap_or(u64::MAX);
         self.next_minor_gc = if self.config.generational {
             self.config.nursery_bytes
@@ -469,21 +481,92 @@ impl<'p> Vm<'p> {
     }
 
     fn full_gc(&mut self, observer: &mut dyn HeapObserver) -> crate::gc::CollectOutcome {
+        self.full_gc_inner(observer, false)
+    }
+
+    /// `census` marks the collection whose reachability numbers feed the
+    /// deep-GC sample; it is also the only collection that samples
+    /// retaining paths (so the sampling cadence matches the profiler's
+    /// census cadence and the draw sequence is deterministic).
+    fn full_gc_inner(
+        &mut self,
+        observer: &mut dyn HeapObserver,
+        census: bool,
+    ) -> crate::gc::CollectOutcome {
         self.flush_pending_uses(observer);
         let roots = self.roots();
         let time = self.heap.clock();
-        let outcome = collect_full(&mut self.heap, self.program, &roots, &mut |o| {
-            observer.on_free(FreeEvent {
-                object: o.id,
-                time,
-                at_exit: false,
-            });
-        });
+        let sampling = census
+            && observer.retain_delivery() == RetainDelivery::Sample
+            && self.config.retain.is_some_and(|r| r.threshold > 0);
+        let outcome = if sampling {
+            let retain = self.config.retain.expect("sampling checked");
+            let mut sampler = RetainSampler::new(retain, self.retain_state, self.root_refs());
+            let out =
+                collect_full_traced(&mut self.heap, self.program, &roots, &mut |o| {
+                    observer.on_free(FreeEvent {
+                        object: o.id,
+                        time,
+                        at_exit: false,
+                    });
+                }, &mut sampler);
+            self.retain_state = sampler.state();
+            for s in &out.retain_samples {
+                observer.on_retain_sample(RetainEvent::new(
+                    s.object,
+                    s.size,
+                    time,
+                    s.path.clone(),
+                ));
+            }
+            out
+        } else {
+            collect_full(&mut self.heap, self.program, &roots, &mut |o| {
+                observer.on_free(FreeEvent {
+                    object: o.id,
+                    time,
+                    at_exit: false,
+                });
+            })
+        };
         self.monitors.retain(|h, _| self.heap.get(*h).is_some());
         if let Some(metrics) = &self.metrics {
             metrics.on_full_gc(outcome.elapsed);
         }
         outcome
+    }
+
+    /// Root descriptors for retain sampling, priority statics > locals >
+    /// operand stacks > monitors (the durable holder wins when an object
+    /// is multiply rooted).
+    fn root_refs(&self) -> HashMap<Handle, RootRef> {
+        let mut map = HashMap::new();
+        for (i, v) in self.statics.iter().enumerate() {
+            if let Value::Ref(h) = v {
+                map.entry(*h).or_insert(RootRef::Static(i as u32));
+            }
+        }
+        for frame in &self.frames {
+            for (slot, v) in frame.locals.iter().enumerate() {
+                if let Value::Ref(h) = v {
+                    map.entry(*h).or_insert(RootRef::Local {
+                        method: frame.method,
+                        slot: slot as u32,
+                    });
+                }
+            }
+            for v in &frame.stack {
+                if let Value::Ref(h) = v {
+                    map.entry(*h).or_insert(RootRef::Stack {
+                        method: frame.method,
+                    });
+                }
+            }
+        }
+        for h in self.monitors.keys() {
+            map.entry(*h).or_insert(RootRef::Monitor);
+        }
+        map
     }
 
     fn minor_gc(&mut self, observer: &mut dyn HeapObserver) {
@@ -521,7 +604,7 @@ impl<'p> Vm<'p> {
                 self.run_nested(fin, vec![Value::Ref(handle)], observer)?;
             }
         }
-        let second = self.full_gc(observer);
+        let second = self.full_gc_inner(observer, true);
         self.deep_gcs += 1;
         if let Some(metrics) = &self.metrics {
             metrics.on_deep_gc();

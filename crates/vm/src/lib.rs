@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod observer;
 pub mod predecode;
 pub mod program;
+pub mod retain;
 pub mod site;
 pub mod value;
 pub mod verify;

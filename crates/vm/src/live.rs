@@ -24,7 +24,10 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::observer::{AllocEvent, FreeEvent, GcEvent, HeapObserver, UseDelivery, UseEvent};
+use crate::observer::{
+    AllocEvent, FreeEvent, GcEvent, HeapObserver, RetainDelivery, RetainEvent, UseDelivery,
+    UseEvent,
+};
 
 struct RingInner<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -137,8 +140,9 @@ impl<T> RingConsumer<T> {
 
 /// One heap event as it crosses the ring — the observer callbacks,
 /// reified. `Exit` carries the final allocation-clock value and is the
-/// stream terminator.
-#[derive(Debug, Clone, Copy)]
+/// stream terminator. (Not `Copy`: retain samples carry their rendered
+/// path.)
+#[derive(Debug, Clone)]
 pub enum LiveEvent {
     /// An object was allocated.
     Alloc(AllocEvent),
@@ -148,6 +152,8 @@ pub enum LiveEvent {
     Free(FreeEvent),
     /// A periodic deep-GC census.
     DeepGc(GcEvent),
+    /// A retaining path was sampled during a deep-GC mark.
+    Retain(RetainEvent),
     /// The VM exited; no further events follow.
     Exit {
         /// Final allocation-clock value (bytes ever allocated).
@@ -227,6 +233,10 @@ impl HeapObserver for LiveProfiler {
         self.offer(LiveEvent::DeepGc(event));
     }
 
+    fn on_retain_sample(&mut self, event: RetainEvent) {
+        self.offer(LiveEvent::Retain(event));
+    }
+
     fn on_exit(&mut self, time: u64) {
         self.offer(LiveEvent::Exit { time });
         self.shared.done.store(true, Ordering::Release);
@@ -234,6 +244,10 @@ impl HeapObserver for LiveProfiler {
 
     fn use_delivery(&self) -> UseDelivery {
         UseDelivery::Coalesced
+    }
+
+    fn retain_delivery(&self) -> RetainDelivery {
+        RetainDelivery::Sample
     }
 }
 

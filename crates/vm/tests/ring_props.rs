@@ -90,11 +90,7 @@ fn bursting_producers_never_block_and_drops_are_counted_exactly() {
                 (times, exits)
             });
             for t in 0..total {
-                profiler.on_deep_gc(GcEvent {
-                    time: t,
-                    reachable_bytes: 0,
-                    reachable_count: 0,
-                });
+                profiler.on_deep_gc(GcEvent::new(t));
             }
             profiler.on_exit(total);
             consumer.join().expect("consumer must not panic")

@@ -8,7 +8,7 @@
 //! cargo run --example drag_report -- jack 15         # top 15 sites
 //! ```
 
-use heapdrag::core::{profile, render, Pipeline, VmConfig};
+use heapdrag::core::{profile, Pipeline, ReportSections, VmConfig};
 use heapdrag::workloads::workload_by_name;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // log carries chain names rather than the site table, so the default
     // resolver treats each chain as its own coarse site.
     let streamed = Pipeline::options().analyze_reader(std::fs::File::open(&log_path)?)?;
-    println!("\n{}", render(&streamed.report, &streamed, top));
+    println!("\n{}", ReportSections::standard(&streamed.report, &streamed).top(top).render());
     println!(
         "manual rewriting for {name} (Table 5): {} ({})",
         workload.rewriting, workload.reference_kinds

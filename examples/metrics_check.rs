@@ -13,12 +13,13 @@
 use std::process::ExitCode;
 
 /// Metrics both phases must agree on, exactly.
-const RECONCILED: [&str; 6] = [
+const RECONCILED: [&str; 7] = [
     "heapdrag_objects_created_total",
     "heapdrag_alloc_bytes_total",
     "heapdrag_objects_reclaimed_total",
     "heapdrag_objects_at_exit_total",
     "heapdrag_deep_gc_samples_total",
+    "heapdrag_retain_samples_total",
     "heapdrag_end_time_bytes",
 ];
 

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use heapdrag::core::{profile, render, DragAnalyzer, ProgramNamer, VmConfig};
+use heapdrag::core::{profile, DragAnalyzer, ProgramNamer, ReportSections, VmConfig};
 use heapdrag::vm::ProgramBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program: &program,
         sites: &run.sites,
     };
-    println!("\n{}", render(&report, &namer, 5));
+    println!("\n{}", ReportSections::standard(&report, &namer).top(5).render());
     println!("The buffer tops the list: nulling local 1 after its last use\nwould reclaim it at the next GC instead of at program exit.");
     Ok(())
 }

@@ -7,7 +7,9 @@
 //! cargo run --example source_savings
 //! ```
 
-use heapdrag::core::{profile, render, DragAnalyzer, Integrals, ProgramNamer, SavingsReport, VmConfig};
+use heapdrag::core::{
+    profile, DragAnalyzer, Integrals, ProgramNamer, ReportSections, SavingsReport, VmConfig,
+};
 use heapdrag::lang::compile_source;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 
@@ -24,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program: &original,
         sites: &run.sites,
     };
-    println!("{}", render(&report, &namer, 4));
+    println!("{}", ReportSections::standard(&report, &namer).top(4).render());
 
     // The manual rewriting (one added line in the source).
     let run_rev = profile(&revised, &[], VmConfig::profiling())?;

@@ -32,13 +32,14 @@ use heapdrag_core::serve::WorkerPool;
 use heapdrag_core::{Integrals, Pipeline};
 use heapdrag_obs::Registry;
 use heapdrag_transform::{
-    check_equivalence, optimize_site, AppliedTransform, Equivalence, OptimizeState,
-    OptimizerOptions, RewriteOutcome, SiteAttempt,
+    check_equivalence, find_path_anchor, optimize_site, AppliedTransform, Equivalence,
+    OptimizeState, OptimizerOptions, RewriteOutcome, SiteAttempt,
 };
 use heapdrag_vm::disasm::disassemble;
 use heapdrag_vm::error::VmError;
 use heapdrag_vm::interp::{InterpreterKind, VmConfig};
 use heapdrag_vm::program::Program;
+use heapdrag_vm::retain::RetainConfig;
 use heapdrag_workloads::{all_workloads, workload_by_name, Workload};
 
 /// Which benchmark input(s) each workload is optimized against.
@@ -88,6 +89,11 @@ pub struct FleetOptions {
     pub optimizer: OptimizerOptions,
     /// Dispatch loop for the profiling runs.
     pub interpreter: InterpreterKind,
+    /// Retaining-path sampling for the profiling runs; when set, the
+    /// ranked report carries per-site retaining paths and `assign-null`
+    /// can anchor on the sampled holder when liveness alone finds no
+    /// dead local.
+    pub retain: Option<RetainConfig>,
     /// The semantic-preservation check gating every rewrite.
     pub verify: VerifyFn,
 }
@@ -103,6 +109,7 @@ impl Default for FleetOptions {
             chunk_records: 8192,
             optimizer: OptimizerOptions::default(),
             interpreter: InterpreterKind::Fast,
+            retain: None,
             verify: check_equivalence,
         }
     }
@@ -184,6 +191,15 @@ impl JobScore {
     pub fn applied_of_kind(&self, kind: TransformKind) -> usize {
         self.applied.iter().filter(|a| a.kind == kind).count()
     }
+
+    /// Committed rewrites that were placed by a sampled retaining path
+    /// (path-anchored assign-null) rather than a static analysis.
+    pub fn path_anchored_count(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.path_anchored && a.outcome == RewriteOutcome::Applied)
+            .count()
+    }
 }
 
 /// The fleet-wide before/after drag accounting.
@@ -239,6 +255,12 @@ impl Scoreboard {
 
     fn total_applied_of_kind(&self, kind: TransformKind) -> usize {
         self.jobs.iter().map(|j| j.applied_of_kind(kind)).sum()
+    }
+
+    /// How many applied assign-nulls across the fleet were placed by a
+    /// sampled retaining path rather than the liveness analysis.
+    pub fn total_path_anchored(&self) -> usize {
+        self.jobs.iter().map(|j| j.path_anchored_count()).sum()
     }
 
     /// Renders the deterministic text scoreboard.
@@ -316,6 +338,14 @@ impl Scoreboard {
             self.total_outcome(RewriteOutcome::RejectedByVerify),
             self.total_outcome(RewriteOutcome::NoOp),
         ));
+        // Only retain-sampled runs can anchor on a path, so sampling-off
+        // scoreboards stay byte-identical to the pre-sampling golden.
+        let path_anchored = self.total_path_anchored();
+        if path_anchored > 0 {
+            out.push_str(&format!(
+                "path-anchored assign-null: {path_anchored} (placed by sampled retaining paths)\n",
+            ));
+        }
         out
     }
 
@@ -359,11 +389,12 @@ impl Scoreboard {
             for (k, a) in j.attempts.iter().enumerate() {
                 out.push_str(&format!(
                     "{{\"site\": {}, \"pattern\": \"{}\", \"chosen\": \"{}\", \
-                     \"outcome\": \"{}\", \"detail\": \"{}\"}}",
+                     \"outcome\": \"{}\", \"path_anchored\": {}, \"detail\": \"{}\"}}",
                     a.site.0,
                     json_escape(&a.pattern.to_string()),
                     json_escape(&a.chosen.to_string()),
                     a.outcome.as_str(),
+                    a.path_anchored,
                     json_escape(&a.detail),
                 ));
                 if k + 1 < j.attempts.len() {
@@ -436,6 +467,9 @@ impl Scoreboard {
                 ))
                 .add(self.total_applied_of_kind(kind) as u64);
         }
+        registry
+            .counter("heapdrag_optimize_path_anchored_total")
+            .add(self.total_path_anchored() as u64);
         let before: u128 = self.jobs.iter().map(|j| j.drag_before()).sum();
         let after: u128 = self.jobs.iter().map(|j| j.drag_after()).sum();
         registry
@@ -481,9 +515,12 @@ fn ranked_report(
     let ingested = pipe
         .ingest_bytes(&bytes)
         .map_err(|e| format!("ingest trace: {e}"))?;
-    let (report, _metrics) = pipe.analyze_records(&ingested.log.records, |ch| {
+    let (mut report, _metrics) = pipe.analyze_records(&ingested.log.records, |ch| {
         run.sites.innermost(ch)
     });
+    // Retaining-path samples ride the same encoded trace; fold them onto
+    // the ranked report so the optimizer can anchor assign-null rewrites.
+    report.attach_retains(&ingested.log.retains);
     Ok(report)
 }
 
@@ -500,6 +537,7 @@ fn run_job(
     let original = workload.original();
     let mut config = VmConfig::profiling();
     config.interpreter = options.interpreter;
+    config.retain = options.retain;
     let pipe = Pipeline::options()
         .shards(options.shards)
         .chunk_records(options.chunk_records)
@@ -532,10 +570,14 @@ fn run_job(
                 break;
             }
             // Transactional attempt: rewrite a clone, keep it only if the
-            // equivalence check accepts it.
+            // equivalence check accepts it. Every rewrite here is gated
+            // by the verify below, so the profile-guided path anchor is
+            // safe to offer.
+            let anchor = find_path_anchor(&program, &run, &report, entry.site);
             let mut candidate = program.clone();
             let mut cand_state = state.clone();
-            let mut step = optimize_site(&mut candidate, &run, entry, &mut cand_state);
+            let mut step =
+                optimize_site(&mut candidate, &run, entry, anchor.as_ref(), &mut cand_state);
             if step.attempt.outcome != RewriteOutcome::Applied {
                 // Nothing changed; keep the state so round-local skip
                 // bookkeeping (nulled methods) matches the plain optimizer.

@@ -54,14 +54,15 @@ use heapdrag::core::log::{IngestConfig, IngestMode, SalvageSummary};
 use heapdrag::fleet::{optimize_fleet, FleetOptions, InputSelection};
 use heapdrag::core::serve::submit_spool;
 use heapdrag::core::{
-    profile_with, render, run_live, LiveOptions, LogFormat, ParallelConfig, Pipeline, ProfileRun,
-    ServeConfig, ServeManager, SessionSource, SessionSpec, SessionState, SessionSummary,
-    StreamReport, Timeline, VmConfig, WindowSpec,
+    profile_with, run_live, LiveOptions, LogFormat, ParallelConfig, Pipeline, ProfileRun,
+    ReportSections, ServeConfig, ServeManager, SessionSource, SessionSpec, SessionState,
+    SessionSummary, StreamReport, Timeline, VmConfig, WindowSpec,
 };
 use heapdrag::obs::Registry;
 use heapdrag::transform::optimizer::{optimize_iteratively, OptimizerOptions};
 use heapdrag::vm::asm::assemble;
 use heapdrag::vm::disasm::disassemble;
+use heapdrag::vm::retain::RetainConfig;
 use heapdrag::vm::{InterpreterKind, Program, SiteId, Vm, VmConfig as RawConfig};
 use heapdrag::workloads::workload_by_name;
 
@@ -70,8 +71,9 @@ const USAGE: &str = "usage:
   heapdrag compile  <prog.hdj> -o <out.hdasm>
   heapdrag profile  <prog> -o <out.log> [--log-format text|binary]
                     [--interval-kb N] [--live-window <bytes>|unbounded]
-                    [input ints...]
+                    [--retain-sample <rate>] [input ints...]
   heapdrag live     <workload | prog> [--window <bytes>|unbounded]
+                    [--retain-sample <rate>]
                     [--advance N] [--cold-after N] [--every N] [--ring N]
                     [--snapshot-out <path>] [input ints...]
   heapdrag report   <log file | -> [--top N] [--shards N] [--chunk-records N]
@@ -96,6 +98,14 @@ common flags:
   --interpreter <kind>   VM dispatch loop for run/profile/timeline/optimize:
                          `fast` (pre-decoded, the default) or `reference`
                          (the step-at-a-time oracle); observably identical
+  --retain-sample <r>    profile/live/optimize-fleet: sample traced edges
+                         during full-heap GC marks at rate r in [0,1]; each
+                         sample records a bounded root-anchored retaining
+                         path (`retain` log lines / tag-05 frames, a
+                         retaining-paths report section). 0 disables
+                         sampling and output is byte-identical to omitting
+                         the flag; the sampler is seeded, so any r is
+                         deterministic for a given program + input
 
 profile flags:
   --log-format <fmt>     trace encoding: `text` (heapdrag-log v1, the
@@ -180,6 +190,7 @@ struct Args {
     window: Option<Option<u64>>,
     /// `--live-window` (the `profile` variant), same encoding.
     live_window: Option<Option<u64>>,
+    retain_sample: Option<f64>,
     advance: Option<u64>,
     cold_after: Option<u64>,
     every: Option<u64>,
@@ -234,6 +245,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         out_dir: None,
         window: None,
         live_window: None,
+        retain_sample: None,
         advance: None,
         cold_after: None,
         every: None,
@@ -318,6 +330,18 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--live-window" => {
                 let v = it.next().ok_or("--live-window needs <bytes>|unbounded")?;
                 args.live_window = Some(parse_window_spec("--live-window", v)?);
+            }
+            "--retain-sample" => {
+                let v = it.next().ok_or("--retain-sample needs a rate in [0,1]")?;
+                let rate: f64 = v.parse().map_err(|_| {
+                    format!("bad --retain-sample: expected a rate in [0,1], got `{v}`")
+                })?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!(
+                        "bad --retain-sample: expected a rate in [0,1], got `{v}`"
+                    ));
+                }
+                args.retain_sample = Some(rate);
             }
             "--advance" => {
                 let v = it.next().ok_or("--advance needs a number")?;
@@ -640,6 +664,11 @@ fn run_main() -> Result<(), String> {
             c.deep_gc_interval = Some(kb * 1024);
         }
         c.interpreter = args.interpreter;
+        // `from_rate` returns `None` at rate 0: the sampler is absent and
+        // logs/reports are byte-identical to a run without the flag.
+        if let Some(rate) = args.retain_sample {
+            c.retain = RetainConfig::from_rate(rate);
+        }
         c
     };
     let plain_config = RawConfig {
@@ -698,6 +727,7 @@ fn run_main() -> Result<(), String> {
                 ProfileRun {
                     records,
                     samples,
+                    retains: live.retains,
                     sites: live.sites,
                     outcome: live.outcome,
                 }
@@ -762,7 +792,13 @@ fn run_main() -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
             sink.flush().map_err(|e| e.to_string())?;
-            print!("{}", live.render_final(args.top));
+            print!(
+                "{}",
+                ReportSections::standard(&live.report, &live)
+                    .top(args.top)
+                    .coldness(&live.coldness)
+                    .render()
+            );
             eprintln!(
                 "live: {} records ({} at exit), {} deep GCs, {} snapshot(s), {} dropped, {} unmatched, end time {} bytes",
                 live.records,
@@ -795,10 +831,12 @@ fn run_main() -> Result<(), String> {
                 registry.as_ref(),
                 args.verbose_metrics,
             )?;
-            print!("{}", render(&streamed.report, &streamed, args.top));
+            let mut sections =
+                ReportSections::standard(&streamed.report, &streamed).top(args.top);
             if streamed.salvage.salvage {
-                print!("\n{}", streamed.salvage.render_footer());
+                sections = sections.salvage_footer(&streamed.salvage);
             }
+            print!("{}", sections.render());
         }
         "inspect" => {
             let log_path = args.positional.first().ok_or(USAGE)?;
@@ -891,6 +929,9 @@ fn run_main() -> Result<(), String> {
             }
             if let Some(n) = args.pool {
                 options.pool_workers = n;
+            }
+            if let Some(rate) = args.retain_sample {
+                options.retain = RetainConfig::from_rate(rate);
             }
             let scoreboard = optimize_fleet(&options, registry.as_ref())?;
             // Per-job progress lines to stderr, in deterministic fleet

@@ -5,7 +5,7 @@
 //! codec abstraction: the format is a transport detail, never visible in
 //! the analysis.
 
-use heapdrag::core::{profile, render, DragAnalyzer, LogFormat, Pipeline, VmConfig};
+use heapdrag::core::{profile, DragAnalyzer, LogFormat, Pipeline, ReportSections, VmConfig};
 use heapdrag::vm::SiteId;
 use heapdrag::workloads::workload_by_name;
 
@@ -59,7 +59,7 @@ fn text_and_binary_logs_ingest_identically_at_every_shard_count() {
             let render_of = |log: &heapdrag::core::ParsedLog| {
                 let analysis =
                     DragAnalyzer::new().analyze(&log.records, |c| Some(SiteId(c.0)));
-                render(&analysis, log, 10)
+                ReportSections::standard(&analysis, log).render()
             };
             let rt = render_of(&t.log);
             assert_eq!(

@@ -14,7 +14,9 @@
 //!    unwinds, finalizers and stack-edge shapes the workloads never hit.
 //!    Replay a failure with `TESTKIT_SEED=<seed> TESTKIT_CASES=1`.
 
-use heapdrag::core::{profile, render, DragAnalyzer, LogFormat, Pipeline, ProfileRun, VmConfig};
+use heapdrag::core::{
+    profile, DragAnalyzer, LogFormat, Pipeline, ProfileRun, ReportSections, VmConfig,
+};
 use heapdrag::vm::{InterpreterKind, Program, SiteId, Vm};
 use heapdrag::workloads::all_workloads;
 use heapdrag_testkit::{check, random_program, Rng};
@@ -39,7 +41,7 @@ fn report(bytes: &[u8]) -> String {
         .ingest_bytes(bytes)
         .expect("round-trip ingest");
     let analysis = DragAnalyzer::new().analyze(&parsed.log.records, |c| Some(SiteId(c.0)));
-    render(&analysis, &parsed.log, 10)
+    ReportSections::standard(&analysis, &parsed.log).render()
 }
 
 /// Asserts fast and reference interpreters agree on one (program, input,

@@ -8,7 +8,7 @@
 //! zero ring drops, and zero unmatched events.
 
 use heapdrag::core::{
-    profile, render, run_live, LiveOptions, LogFormat, Pipeline, ProfileRun, VmConfig,
+    profile, run_live, LiveOptions, LogFormat, Pipeline, ProfileRun, ReportSections, VmConfig,
 };
 use heapdrag::vm::Program;
 use heapdrag::workloads::all_workloads;
@@ -74,7 +74,9 @@ fn unbounded_live_reproduces_the_post_mortem_report_for_all_nine_workloads() {
         // Report-level parity: the live final report starts with the
         // exact bytes `report` prints (the coldness section follows),
         // whichever trace format carried the log and at any shard count.
-        let final_text = live.render_final(10);
+        let final_text = ReportSections::standard(&live.report, &live)
+            .coldness(&live.coldness)
+            .render();
         for format in [LogFormat::Text, LogFormat::Binary] {
             let bytes = encode(&run, &program, format);
             for shards in [1usize, 4, 7] {
@@ -82,7 +84,7 @@ fn unbounded_live_reproduces_the_post_mortem_report_for_all_nine_workloads() {
                     .shards(shards)
                     .analyze_reader(&bytes[..])
                     .unwrap_or_else(|e| panic!("{}: {format} streams: {e}", w.name));
-                let want = render(&streamed.report, &streamed, 10);
+                let want = ReportSections::standard(&streamed.report, &streamed).render();
                 assert!(
                     final_text.starts_with(&want),
                     "{}: live final report diverges from `report` \
@@ -173,7 +175,10 @@ fn live_snapshots_are_deterministic_when_nothing_is_dropped() {
         )
         .expect("live run");
         assert_eq!(live.dropped, 0);
-        (snapshots, live.render_final(10))
+        let final_text = ReportSections::standard(&live.report, &live)
+            .coldness(&live.coldness)
+            .render();
+        (snapshots, final_text)
     };
     let (snaps_a, final_a) = run_once();
     let (snaps_b, final_b) = run_once();

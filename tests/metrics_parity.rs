@@ -8,7 +8,7 @@
 //! on a hot path that races the observer — exactly the bugs a metrics
 //! layer exists to catch.
 
-use heapdrag::core::{profile_with, render, Pipeline, ProfileRun, VmConfig};
+use heapdrag::core::{profile_with, Pipeline, ProfileRun, ReportSections, VmConfig};
 use heapdrag::obs::{Registry, Snapshot};
 use heapdrag::vm::{OpcodeClass, Program, SiteId};
 use heapdrag::workloads::workload_by_name;
@@ -213,7 +213,8 @@ fn salvaged_corrupt_logs_are_shard_invariant_end_to_end() {
             let ingested = pipe.ingest_bytes(text).expect("salvage succeeds");
             let (report, _) =
                 pipe.analyze_records(&ingested.log.records, |c| Some(SiteId(c.0)));
-            let rendered = render(&report, &ingested.log, 10) + &ingested.salvage.render_footer();
+            let rendered = ReportSections::standard(&report, &ingested.log).render()
+                + &ingested.salvage.render_footer();
             let registry = Registry::new();
             ingested.salvage.publish_metrics(&registry);
             (ingested.log, ingested.salvage, rendered, registry.render_json())

@@ -15,6 +15,7 @@ use heapdrag::fleet::{optimize_fleet, FleetOptions, InputSelection, Scoreboard};
 use heapdrag::transform::{Equivalence, RewriteOutcome};
 use heapdrag::vm::error::VmError;
 use heapdrag::vm::program::Program;
+use heapdrag::vm::retain::RetainConfig;
 
 fn fleet(workloads: &[&str], shards: usize, pool: usize, inputs: InputSelection) -> Scoreboard {
     let options = FleetOptions {
@@ -127,6 +128,82 @@ fn rejected_rewrites_are_reported_and_never_written() {
     let leftover = std::fs::read_dir(&dir).expect("dir exists").count();
     assert_eq!(leftover, 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The retaining-path acceptance loop: on `analyzer`, the drag-heavy
+/// vector-element sites are rooted in `static analyzer.Mutability.graph`,
+/// but their reference locals are all still live at the last use — so
+/// liveness-driven assign-null has nothing to insert and the site no-ops.
+/// With retain sampling on, the sampled path names the static holder and
+/// the optimizer places `pushnull; putstatic` after the profile's
+/// dominant last use instead — a rewrite it could not place before, and
+/// still gated by the output-differential verifier like every other.
+#[test]
+fn path_anchoring_places_assign_null_where_liveness_cannot() {
+    let base_options = FleetOptions {
+        workloads: vec!["analyzer".into()],
+        inputs: InputSelection::Default,
+        ..FleetOptions::default()
+    };
+    let baseline = optimize_fleet(&base_options, None).expect("baseline fleet run");
+    assert_eq!(baseline.total_path_anchored(), 0);
+    assert!(
+        baseline.jobs[0]
+            .attempts
+            .iter()
+            .any(|a| a.detail.contains("no dead reference locals found")),
+        "precondition lost: liveness now places every assign-null on analyzer:\n{}",
+        baseline.render_text()
+    );
+    assert!(
+        !baseline.render_text().contains("path-anchored"),
+        "scoreboard mentions path anchoring without sampling:\n{}",
+        baseline.render_text()
+    );
+
+    let retain_options = FleetOptions {
+        retain: RetainConfig::from_rate(0.25),
+        ..base_options
+    };
+    let board = optimize_fleet(&retain_options, None).expect("retain fleet run");
+    let job = &board.jobs[0];
+    assert!(job.error.is_none(), "{:?}", job.error);
+    assert!(
+        board.total_path_anchored() >= 1,
+        "no path-anchored assign-null placed:\n{}",
+        board.render_text()
+    );
+    for a in job.attempts.iter().filter(|a| a.path_anchored) {
+        assert_eq!(a.outcome, RewriteOutcome::Applied, "{a:?}");
+        assert!(
+            a.detail.contains("path-anchored: nulled static analyzer.Mutability.graph"),
+            "{a:?}"
+        );
+    }
+    // The placement is reported in both renderings…
+    let text = board.render_text();
+    assert!(
+        text.contains("path-anchored assign-null:"),
+        "scoreboard line missing:\n{text}"
+    );
+    assert!(board.render_json().contains("\"path_anchored\": true"));
+    // …and the committed program still passes the output-differential
+    // check on both stock inputs, like every fleet rewrite.
+    let revised = job.revised.as_ref().expect("rewrites were committed");
+    let w = heapdrag::workloads::workload_by_name("analyzer").unwrap();
+    let verdict = heapdrag::transform::check_equivalence(
+        &w.original(),
+        revised,
+        &[(w.default_input)(), (w.alternate_input)()],
+    )
+    .expect("revised program runs");
+    assert_eq!(verdict, Equivalence::Same);
+
+    // Sampling is seeded: the whole retain-driven scoreboard is
+    // reproducible byte-for-byte.
+    let again = optimize_fleet(&retain_options, None).expect("repeat fleet run");
+    assert_eq!(board.render_text(), again.render_text());
+    assert_eq!(board.render_json(), again.render_json());
 }
 
 #[test]

@@ -16,7 +16,8 @@ use std::io::Read;
 
 use heapdrag::core::serve::session_cost;
 use heapdrag::core::{
-    render, LogFormat, Pipeline, ProfileRun, ServeConfig, ServeManager, SessionId, SessionSource,
+    LogFormat, Pipeline, ProfileRun, ReportSections, ServeConfig, ServeManager, SessionId,
+    SessionSource,
     SessionSpec, SessionState,
 };
 use heapdrag::obs::Registry;
@@ -89,11 +90,11 @@ impl Spec {
         }
         // The single-shot baseline: exactly what `heapdrag report` renders.
         let streamed = pipe.analyze_reader(&bytes[..]).expect("single-shot run");
-        let mut want = render(&streamed.report, &streamed, 10);
+        let mut sections = ReportSections::standard(&streamed.report, &streamed);
         if streamed.salvage.salvage {
-            want.push('\n');
-            want.push_str(&streamed.salvage.render_footer());
+            sections = sections.salvage_footer(&streamed.salvage);
         }
+        let want = sections.render();
         Spec {
             name: name.to_string(),
             bytes,

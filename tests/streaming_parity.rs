@@ -10,7 +10,7 @@
 
 use std::io::Read;
 
-use heapdrag::core::{render, LogFormat, Pipeline, ProfileRun};
+use heapdrag::core::{LogFormat, Pipeline, ProfileRun, ReportSections};
 use heapdrag::obs::Registry;
 use heapdrag::vm::{Program, SiteId};
 use heapdrag::workloads::workload_by_name;
@@ -41,23 +41,21 @@ fn pipe(shards: usize, salvage: bool) -> Pipeline {
 fn rendered_in_memory(pipe: &Pipeline, bytes: &[u8]) -> String {
     let ingested = pipe.ingest_bytes(bytes).expect("ingests");
     let (report, _) = pipe.analyze_records(&ingested.log.records, |c| Some(SiteId(c.0)));
-    let mut out = render(&report, &ingested.log, 10);
+    let mut sections = ReportSections::standard(&report, &ingested.log);
     if ingested.salvage.salvage {
-        out.push('\n');
-        out.push_str(&ingested.salvage.render_footer());
+        sections = sections.salvage_footer(&ingested.salvage);
     }
-    out
+    sections.render()
 }
 
 /// The same artifact via the fully streaming path.
 fn rendered_streaming(pipe: &Pipeline, reader: impl Read) -> String {
     let streamed = pipe.analyze_reader(reader).expect("streams");
-    let mut out = render(&streamed.report, &streamed, 10);
+    let mut sections = ReportSections::standard(&streamed.report, &streamed);
     if streamed.salvage.salvage {
-        out.push('\n');
-        out.push_str(&streamed.salvage.render_footer());
+        sections = sections.salvage_footer(&streamed.salvage);
     }
-    out
+    sections.render()
 }
 
 #[test]
